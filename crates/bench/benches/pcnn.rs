@@ -1,0 +1,40 @@
+//! Micro-benchmark: PCNN queries (Algorithm 1) at different thresholds.
+//!
+//! Small thresholds force the Apriori lattice towards the full subset lattice
+//! of the query interval, which is the worst case the paper discusses in
+//! Section 4.3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ust_bench::args::RunScale;
+use ust_bench::datasets::{build_queries, build_synthetic, ScaleParams};
+use ust_core::{EngineConfig, Query, QueryEngine};
+
+fn bench_pcnn(c: &mut Criterion) {
+    let mut params = ScaleParams::for_scale(RunScale::Quick);
+    params.num_queries = 2;
+    params.interval_len = 8;
+    let dataset = build_synthetic(&params, 2_000, 8.0, 150, 13);
+    let workload = build_queries(&dataset, &params, 13);
+    let engine = QueryEngine::new(
+        &dataset.database,
+        EngineConfig { num_samples: 300, ..Default::default() },
+    );
+    engine.prepare_all().expect("adaptation succeeds");
+    let spec = &workload.queries[0];
+    let query = Query::at_point(spec.location, spec.times.iter().copied()).unwrap();
+
+    let mut group = c.benchmark_group("pcnn");
+    group.sample_size(10);
+    for tau in [0.1, 0.5, 0.9] {
+        group.bench_function(format!("pcnn_tau_{tau}"), |b| {
+            b.iter(|| engine.pcnn(&query, tau).unwrap())
+        });
+    }
+    group.bench_function("pc2nn_tau_0.5", |b| {
+        b.iter(|| engine.pcknn(&query, 2, 0.5).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pcnn);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Micro-benchmark: end-to-end P∀NNQ / P∃NNQ / P∀kNNQ evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ust_bench::args::RunScale;
+use ust_bench::datasets::{build_queries, build_synthetic, ScaleParams};
+use ust_core::{EngineConfig, Query, QueryEngine};
+
+fn bench_queries(c: &mut Criterion) {
+    let mut params = ScaleParams::for_scale(RunScale::Quick);
+    params.num_queries = 2;
+    let dataset = build_synthetic(&params, 2_000, 8.0, 200, 11);
+    let workload = build_queries(&dataset, &params, 11);
+    let engine = QueryEngine::new(
+        &dataset.database,
+        EngineConfig { num_samples: 500, ..Default::default() },
+    );
+    // Warm the model cache so the benchmark isolates the sampling phase.
+    engine.prepare_all().expect("adaptation succeeds");
+    let spec = &workload.queries[0];
+    let query = Query::at_point(spec.location, spec.times.iter().copied()).unwrap();
+
+    let mut group = c.benchmark_group("queries");
+    group.sample_size(10);
+    group.bench_function("pforall_nn_500_worlds", |b| {
+        b.iter(|| engine.pforall_nn(&query, 0.0).unwrap())
+    });
+    group.bench_function("pexists_nn_500_worlds", |b| {
+        b.iter(|| engine.pexists_nn(&query, 0.0).unwrap())
+    });
+    group.bench_function("pforall_3nn_500_worlds", |b| {
+        b.iter(|| engine.pforall_knn(&query, 3, 0.0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmark: the R*-tree substrate (bulk loading, insertion, queries).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ust_spatial::{RTree, Rect, Rect3};
+
+fn random_boxes(n: usize, seed: u64) -> Vec<(Rect3, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let x = rng.gen::<f64>();
+            let y = rng.gen::<f64>();
+            let t = rng.gen::<f64>() * 1000.0;
+            (Rect::new([x, y, t], [x + 0.01, y + 0.01, t + 10.0]), i)
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let boxes = random_boxes(20_000, 1);
+    let mut group = c.benchmark_group("rtree_build");
+    group.sample_size(10);
+    group.bench_function("bulk_load_20k", |b| {
+        b.iter_batched(|| boxes.clone(), RTree::bulk_load, BatchSize::LargeInput)
+    });
+    group.bench_function("insert_5k", |b| {
+        b.iter_batched(
+            || boxes[..5_000].to_vec(),
+            |items| {
+                let mut tree = RTree::with_capacity(32);
+                for (r, i) in items {
+                    tree.insert(r, i);
+                }
+                tree
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let tree = RTree::bulk_load(random_boxes(20_000, 2));
+    let mut group = c.benchmark_group("rtree_query");
+    group.bench_function("time_slice_query", |b| {
+        let q = Rect::new([0.0, 0.0, 100.0], [1.0, 1.0, 110.0]);
+        b.iter(|| tree.query_intersecting(&q).len())
+    });
+    group.bench_function("small_window_query", |b| {
+        let q = Rect::new([0.4, 0.4, 0.0], [0.6, 0.6, 1000.0]);
+        b.iter(|| tree.query_intersecting(&q).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

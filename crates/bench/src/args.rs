@@ -1,0 +1,99 @@
+//! Minimal command-line handling shared by the figure binaries.
+
+/// The scale at which an experiment is run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// Smoke-test scale: seconds, shapes only roughly visible.
+    Quick,
+    /// Default scale: laptop-friendly reduction of the paper's setup.
+    Default,
+    /// Close to the paper's original parameters (slow).
+    Paper,
+}
+
+/// Parsed command-line settings of a figure binary.
+#[derive(Debug, Clone)]
+pub struct RunSettings {
+    /// Selected scale.
+    pub scale: RunScale,
+    /// Optional path to write the JSON report to.
+    pub json_path: Option<String>,
+    /// RNG seed override.
+    pub seed: u64,
+}
+
+impl Default for RunSettings {
+    fn default() -> Self {
+        RunSettings { scale: RunScale::Default, json_path: None, seed: 0 }
+    }
+}
+
+impl RunSettings {
+    /// Parses `std::env::args()`. Unknown flags abort with a usage message.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (used by tests).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut settings = RunSettings::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--quick" => settings.scale = RunScale::Quick,
+                "--paper-scale" => settings.scale = RunScale::Paper,
+                "--json" => {
+                    settings.json_path = iter.next();
+                    if settings.json_path.is_none() {
+                        usage_and_exit("--json requires a path argument");
+                    }
+                }
+                "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
+                    Some(seed) => settings.seed = seed,
+                    None => usage_and_exit("--seed requires an integer argument"),
+                },
+                "--help" | "-h" => usage_and_exit(""),
+                other => usage_and_exit(&format!("unknown argument: {other}")),
+            }
+        }
+        settings
+    }
+}
+
+fn usage_and_exit(message: &str) -> ! {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!("usage: <figure binary> [--quick | --paper-scale] [--seed N] [--json <path>]");
+    std::process::exit(if message.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> RunSettings {
+        RunSettings::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn default_settings() {
+        let s = parse(&[]);
+        assert_eq!(s.scale, RunScale::Default);
+        assert!(s.json_path.is_none());
+        assert_eq!(s.seed, 0);
+    }
+
+    #[test]
+    fn quick_and_paper_flags() {
+        assert_eq!(parse(&["--quick"]).scale, RunScale::Quick);
+        assert_eq!(parse(&["--paper-scale"]).scale, RunScale::Paper);
+    }
+
+    #[test]
+    fn json_and_seed() {
+        let s = parse(&["--json", "/tmp/out.json", "--seed", "42"]);
+        assert_eq!(s.json_path.as_deref(), Some("/tmp/out.json"));
+        assert_eq!(s.seed, 42);
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 6: P∀NNQ / P∃NNQ efficiency while varying the number of states `N`.
+//!
+//! Paper sweep: N ∈ {10k, 100k, 500k}. Default harness sweep: a proportional
+//! reduction (see DESIGN.md §3). Reported series: CPU time of the adaptation
+//! phase (TS), of the P∀NNQ sampling (FA) and of the P∃NNQ sampling (EX), plus
+//! the candidate and influence set sizes |C(q)| and |I(q)|.
+
+use ust_bench::datasets::{build_queries, build_synthetic, ScaleParams};
+use ust_bench::efficiency::measure_efficiency;
+use ust_bench::{ExperimentReport, Row, RunScale, RunSettings};
+
+fn main() {
+    let settings = RunSettings::from_env();
+    let params = ScaleParams::for_scale(settings.scale);
+    let sweep: Vec<usize> = match settings.scale {
+        RunScale::Quick => vec![1_000, 2_000, 4_000],
+        RunScale::Default => vec![2_000, 10_000, 50_000],
+        RunScale::Paper => vec![10_000, 100_000, 500_000],
+    };
+    let mut report = ExperimentReport::new(
+        "figure06_vary_states",
+        "Efficiency of P∀NNQ/P∃NNQ while varying the number of states N \
+         (paper: Figure 6; series TS/FA/EX in seconds, |C(q)|/|I(q)| in objects)",
+    );
+    for n in sweep {
+        eprintln!("[fig06] N = {n}");
+        let dataset = build_synthetic(&params, n, params.branching, params.num_objects, settings.seed);
+        let queries = build_queries(&dataset, &params, settings.seed);
+        let m = measure_efficiency(&dataset, &queries, params.num_samples, settings.seed);
+        report.push(
+            Row::new(format!("|S|={n}"))
+                .with("TS", m.ts_seconds)
+                .with("FA", m.fa_seconds)
+                .with("EX", m.ex_seconds)
+                .with("|C(q)|", m.candidates)
+                .with("|I(q)|", m.influencers),
+        );
+    }
+    report.print();
+    report.maybe_write_json(&settings.json_path).expect("failed to write JSON report");
+}

@@ -1,0 +1,35 @@
+//! Figure 7: P∀NNQ / P∃NNQ efficiency while varying the branching factor `b`.
+//!
+//! Paper sweep: b ∈ {6, 8, 10} (identical here). Reported series: TS/FA/EX
+//! CPU times and candidate/influence set sizes.
+
+use ust_bench::datasets::{build_queries, build_synthetic, ScaleParams};
+use ust_bench::efficiency::measure_efficiency;
+use ust_bench::{ExperimentReport, Row, RunSettings};
+
+fn main() {
+    let settings = RunSettings::from_env();
+    let params = ScaleParams::for_scale(settings.scale);
+    let mut report = ExperimentReport::new(
+        "figure07_vary_branching",
+        "Efficiency of P∀NNQ/P∃NNQ while varying the branching factor b \
+         (paper: Figure 7; series TS/FA/EX in seconds, |C(q)|/|I(q)| in objects)",
+    );
+    for b in [6.0, 8.0, 10.0] {
+        eprintln!("[fig07] b = {b}");
+        let dataset =
+            build_synthetic(&params, params.num_states, b, params.num_objects, settings.seed);
+        let queries = build_queries(&dataset, &params, settings.seed);
+        let m = measure_efficiency(&dataset, &queries, params.num_samples, settings.seed);
+        report.push(
+            Row::new(format!("b={b}"))
+                .with("TS", m.ts_seconds)
+                .with("FA", m.fa_seconds)
+                .with("EX", m.ex_seconds)
+                .with("|C(q)|", m.candidates)
+                .with("|I(q)|", m.influencers),
+        );
+    }
+    report.print();
+    report.maybe_write_json(&settings.json_path).expect("failed to write JSON report");
+}

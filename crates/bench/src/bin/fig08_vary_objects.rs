@@ -1,0 +1,40 @@
+//! Figure 8: P∀NNQ / P∃NNQ efficiency while varying the number of objects
+//! `|D|` on synthetic data.
+//!
+//! Paper sweep: |D| ∈ {1k, 10k, 20k}. Default harness sweep: a proportional
+//! reduction. Reported series: TS/FA/EX CPU times and |C(q)|/|I(q)|.
+
+use ust_bench::datasets::{build_queries, build_synthetic, ScaleParams};
+use ust_bench::efficiency::measure_efficiency;
+use ust_bench::{ExperimentReport, Row, RunScale, RunSettings};
+
+fn main() {
+    let settings = RunSettings::from_env();
+    let params = ScaleParams::for_scale(settings.scale);
+    let sweep: Vec<usize> = match settings.scale {
+        RunScale::Quick => vec![50, 100, 200],
+        RunScale::Default => vec![250, 1_000, 4_000],
+        RunScale::Paper => vec![1_000, 10_000, 20_000],
+    };
+    let mut report = ExperimentReport::new(
+        "figure08_vary_objects",
+        "Efficiency of P∀NNQ/P∃NNQ while varying the number of objects |D| on synthetic data \
+         (paper: Figure 8; series TS/FA/EX in seconds, |C(q)|/|I(q)| in objects)",
+    );
+    for d in sweep {
+        eprintln!("[fig08] |D| = {d}");
+        let dataset = build_synthetic(&params, params.num_states, params.branching, d, settings.seed);
+        let queries = build_queries(&dataset, &params, settings.seed);
+        let m = measure_efficiency(&dataset, &queries, params.num_samples, settings.seed);
+        report.push(
+            Row::new(format!("|D|={d}"))
+                .with("TS", m.ts_seconds)
+                .with("FA", m.fa_seconds)
+                .with("EX", m.ex_seconds)
+                .with("|C(q)|", m.candidates)
+                .with("|I(q)|", m.influencers),
+        );
+    }
+    report.print();
+    report.maybe_write_json(&settings.json_path).expect("failed to write JSON report");
+}

@@ -1,0 +1,43 @@
+//! Figure 9: P∀NNQ / P∃NNQ efficiency on the (simulated) taxi dataset while
+//! varying the number of objects.
+//!
+//! The paper uses map-matched Beijing T-Drive taxi traces on a 68 902-state
+//! road graph; this harness uses the simulated city road network documented in
+//! DESIGN.md §4. Paper sweep: |D| ∈ {1k, 10k, 20k}. Reported series: TS/FA/EX
+//! CPU times and |C(q)|/|I(q)|. Compared with Figure 8, the denser city-centre
+//! traffic yields larger candidate/influence sets at equal |D|.
+
+use ust_bench::datasets::{build_queries, build_taxi, ScaleParams};
+use ust_bench::efficiency::measure_efficiency;
+use ust_bench::{ExperimentReport, Row, RunScale, RunSettings};
+
+fn main() {
+    let settings = RunSettings::from_env();
+    let params = ScaleParams::for_scale(settings.scale);
+    let sweep: Vec<usize> = match settings.scale {
+        RunScale::Quick => vec![50, 100, 200],
+        RunScale::Default => vec![250, 1_000, 4_000],
+        RunScale::Paper => vec![1_000, 10_000, 20_000],
+    };
+    let mut report = ExperimentReport::new(
+        "figure09_realdata_vary_objects",
+        "Efficiency of P∀NNQ/P∃NNQ on the simulated taxi road network while varying |D| \
+         (paper: Figure 9; series TS/FA/EX in seconds, |C(q)|/|I(q)| in objects)",
+    );
+    for d in sweep {
+        eprintln!("[fig09] |D| = {d}");
+        let dataset = build_taxi(&params, d, settings.seed);
+        let queries = build_queries(&dataset, &params, settings.seed);
+        let m = measure_efficiency(&dataset, &queries, params.num_samples, settings.seed);
+        report.push(
+            Row::new(format!("|D|={d}"))
+                .with("TS", m.ts_seconds)
+                .with("FA", m.fa_seconds)
+                .with("EX", m.ex_seconds)
+                .with("|C(q)|", m.candidates)
+                .with("|I(q)|", m.influencers),
+        );
+    }
+    report.print();
+    report.maybe_write_json(&settings.json_path).expect("failed to write JSON report");
+}

@@ -1,0 +1,42 @@
+//! Figure 14: PCNN query efficiency while varying the probability threshold τ.
+//!
+//! Paper sweep: τ ∈ {0.1, 0.5, 0.9}. Reported series: the model-adaptation
+//! time (TS), the sampling + Apriori lattice time (SA) and the number of
+//! qualifying timestamp sets. The paper observes that small thresholds blow up
+//! both the lattice (near-exponential in |T|) and the result set, while large
+//! thresholds make the query cheap.
+
+use ust_bench::continuous::measure_pcnn;
+use ust_bench::datasets::{build_queries, build_synthetic, ScaleParams};
+use ust_bench::{ExperimentReport, Row, RunSettings};
+
+fn main() {
+    let settings = RunSettings::from_env();
+    let params = ScaleParams::for_scale(settings.scale);
+    let dataset = build_synthetic(
+        &params,
+        params.num_states,
+        params.branching,
+        params.num_objects,
+        settings.seed,
+    );
+    let queries = build_queries(&dataset, &params, settings.seed);
+    let mut report = ExperimentReport::new(
+        "figure14_pcnn_vary_tau",
+        "PCNN efficiency while varying the probability threshold tau \
+         (paper: Figure 14; TS/SA in seconds, timestamp sets = qualifying (object, set) pairs)",
+    );
+    for tau in [0.1, 0.5, 0.9] {
+        eprintln!("[fig14] tau = {tau}");
+        let m = measure_pcnn(&dataset, &queries, params.num_samples, tau, settings.seed);
+        report.push(
+            Row::new(format!("tau={tau}"))
+                .with("TS", m.ts_seconds)
+                .with("SA", m.sa_seconds)
+                .with("#TimestampSets", m.timestamp_sets)
+                .with("#CandidateSets", m.candidate_sets),
+        );
+    }
+    report.print();
+    report.maybe_write_json(&settings.json_path).expect("failed to write JSON report");
+}

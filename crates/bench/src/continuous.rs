@@ -1,0 +1,85 @@
+//! PCNN (continuous query) experiments — Figures 13 and 14 of the paper.
+//!
+//! The harness measures, per query,
+//!
+//! * **TS** — the model-adaptation time,
+//! * **SA** — the time to sample possible worlds and run the Apriori lattice
+//!   of Algorithm 1 over the candidate timestamp sets,
+//! * **#Timestamp Sets** — the size of the (unprocessed) result set, i.e. the
+//!   number of qualifying `(object, timestamp set)` pairs.
+
+use std::time::Instant;
+use ust_core::{EngineConfig, Query, QueryEngine};
+use ust_generator::{Dataset, QueryWorkload};
+
+/// Averaged PCNN measurements over a query workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PcnnMeasurement {
+    /// Mean model-adaptation time per query, seconds.
+    pub ts_seconds: f64,
+    /// Mean sampling + lattice time per query, seconds.
+    pub sa_seconds: f64,
+    /// Mean number of qualifying `(object, timestamp set)` pairs per query.
+    pub timestamp_sets: f64,
+    /// Mean number of candidate sets validated by the Apriori expansion.
+    pub candidate_sets: f64,
+    /// Number of queries measured.
+    pub queries: usize,
+}
+
+/// Runs the PCNN efficiency measurement for a given threshold `tau`.
+pub fn measure_pcnn(
+    dataset: &Dataset,
+    workload: &QueryWorkload,
+    num_samples: usize,
+    tau: f64,
+    seed: u64,
+) -> PcnnMeasurement {
+    let config = EngineConfig { num_samples, seed, ..Default::default() };
+    let engine = QueryEngine::new(&dataset.database, config);
+    let mut out = PcnnMeasurement::default();
+    for spec in &workload.queries {
+        let query = Query::at_point(spec.location, spec.times.iter().copied())
+            .expect("workload queries are well-formed");
+        engine.clear_model_cache();
+        let start = Instant::now();
+        let outcome = engine.pcnn(&query, tau).expect("query evaluation succeeds");
+        let total = start.elapsed().as_secs_f64();
+        let ts = outcome.stats.adaptation_time.as_secs_f64();
+        out.ts_seconds += ts;
+        out.sa_seconds += (total - ts).max(0.0);
+        out.timestamp_sets += outcome.total_result_sets() as f64;
+        out.candidate_sets += outcome.candidate_sets_evaluated as f64;
+        out.queries += 1;
+    }
+    if out.queries > 0 {
+        let n = out.queries as f64;
+        out.ts_seconds /= n;
+        out.sa_seconds /= n;
+        out.timestamp_sets /= n;
+        out.candidate_sets /= n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::RunScale;
+    use crate::datasets::{build_queries, build_synthetic, ScaleParams};
+
+    #[test]
+    fn pcnn_measurement_reflects_the_threshold() {
+        let mut params = ScaleParams::for_scale(RunScale::Quick);
+        params.num_queries = 2;
+        params.interval_len = 5;
+        let ds = build_synthetic(&params, 500, 8.0, 30, 9);
+        let queries = build_queries(&ds, &params, 9);
+        let low_tau = measure_pcnn(&ds, &queries, 100, 0.1, 9);
+        let high_tau = measure_pcnn(&ds, &queries, 100, 0.9, 9);
+        assert_eq!(low_tau.queries, 2);
+        assert!(low_tau.sa_seconds > 0.0);
+        // A lower threshold can only produce more (or equally many) result sets.
+        assert!(low_tau.timestamp_sets >= high_tau.timestamp_sets);
+    }
+}

@@ -1,0 +1,169 @@
+//! Scaled dataset construction shared by the figure binaries.
+//!
+//! The paper's default setting is `|S| = 100 000`, `b = 8`, `|D| = 10 000`,
+//! object lifetime 100 over a horizon of 1 000 timestamps, 11 observations per
+//! object and 10 000 sampled worlds per query. Those sizes are reproducible
+//! with `--paper-scale` but take long on a development machine; the default
+//! and quick scales shrink every cardinality while keeping all ratios (object
+//! density, observations per object, interval length) intact, so the
+//! qualitative behaviour of every figure is preserved.
+
+use crate::args::RunScale;
+use ust_generator::{
+    Dataset, ObjectWorkloadConfig, QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig,
+    SyntheticNetworkConfig, TaxiWorkloadConfig,
+};
+
+/// All size parameters of one experimental configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleParams {
+    /// Number of states of the synthetic state space.
+    pub num_states: usize,
+    /// Average branching factor.
+    pub branching: f64,
+    /// Number of database objects.
+    pub num_objects: usize,
+    /// Number of sampled possible worlds per query.
+    pub num_samples: usize,
+    /// Number of queries to average over.
+    pub num_queries: usize,
+    /// Query interval length `|T|`.
+    pub interval_len: u32,
+    /// Database time horizon.
+    pub horizon: u32,
+    /// Object lifetime.
+    pub lifetime: u32,
+    /// Time between observations.
+    pub observation_interval: u32,
+    /// Lag parameter `v`.
+    pub lag: f64,
+    /// Road-network grid side length for the simulated taxi data.
+    pub taxi_grid: usize,
+}
+
+impl ScaleParams {
+    /// Parameters for the given scale.
+    pub fn for_scale(scale: RunScale) -> Self {
+        match scale {
+            RunScale::Quick => ScaleParams {
+                num_states: 2_000,
+                branching: 8.0,
+                num_objects: 100,
+                num_samples: 200,
+                num_queries: 3,
+                interval_len: 10,
+                horizon: 300,
+                lifetime: 50,
+                observation_interval: 10,
+                lag: 0.5,
+                taxi_grid: 30,
+            },
+            RunScale::Default => ScaleParams {
+                num_states: 10_000,
+                branching: 8.0,
+                num_objects: 1_000,
+                num_samples: 2_000,
+                num_queries: 5,
+                interval_len: 10,
+                horizon: 1_000,
+                lifetime: 100,
+                observation_interval: 10,
+                lag: 0.5,
+                taxi_grid: 80,
+            },
+            RunScale::Paper => ScaleParams {
+                num_states: 100_000,
+                branching: 8.0,
+                num_objects: 10_000,
+                num_samples: 10_000,
+                num_queries: 10,
+                interval_len: 10,
+                horizon: 1_000,
+                lifetime: 100,
+                observation_interval: 10,
+                lag: 0.5,
+                taxi_grid: 200,
+            },
+        }
+    }
+}
+
+/// Builds a synthetic dataset with explicit overrides of the state-space size,
+/// branching factor and object count (the swept parameters of Figures 6-8).
+pub fn build_synthetic(
+    params: &ScaleParams,
+    num_states: usize,
+    branching: f64,
+    num_objects: usize,
+    seed: u64,
+) -> Dataset {
+    let net = SyntheticNetworkConfig { num_states, branching_factor: branching, seed };
+    let obj = ObjectWorkloadConfig {
+        num_objects,
+        lifetime: params.lifetime,
+        horizon: params.horizon,
+        observation_interval: params.observation_interval,
+        lag: params.lag,
+        standing_fraction: 0.0,
+        seed: seed.wrapping_add(1),
+    };
+    Dataset::synthetic(&net, &obj, 1.0)
+}
+
+/// Builds the simulated taxi dataset (Figures 9 and 12).
+pub fn build_taxi(params: &ScaleParams, num_objects: usize, seed: u64) -> Dataset {
+    let road = RoadNetworkConfig {
+        grid_width: params.taxi_grid,
+        grid_height: params.taxi_grid,
+        seed,
+        ..Default::default()
+    };
+    let taxi = TaxiWorkloadConfig {
+        num_objects,
+        lifetime: params.lifetime,
+        horizon: params.horizon,
+        observation_interval: 8,
+        lag: params.lag,
+        standing_fraction: 0.1,
+        training_trips: (num_objects * 2).max(500),
+        center_bias: 2.0,
+        smoothing: 0.05,
+        seed: seed.wrapping_add(2),
+    };
+    Dataset::taxi(&road, &taxi)
+}
+
+/// Generates the query workload used by the efficiency experiments.
+pub fn build_queries(dataset: &Dataset, params: &ScaleParams, seed: u64) -> QueryWorkload {
+    let cfg = QueryWorkloadConfig {
+        num_queries: params.num_queries,
+        interval_length: params.interval_len,
+        horizon: params.horizon,
+        seed: seed.wrapping_add(3),
+    };
+    QueryWorkload::generate_covered(&dataset.network, &dataset.database, &cfg, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = ScaleParams::for_scale(RunScale::Quick);
+        let d = ScaleParams::for_scale(RunScale::Default);
+        let p = ScaleParams::for_scale(RunScale::Paper);
+        assert!(q.num_states < d.num_states && d.num_states < p.num_states);
+        assert!(q.num_objects < d.num_objects && d.num_objects < p.num_objects);
+        assert_eq!(p.num_samples, 10_000, "paper scale uses the paper's sample count");
+    }
+
+    #[test]
+    fn quick_synthetic_dataset_builds() {
+        let params = ScaleParams::for_scale(RunScale::Quick);
+        let ds = build_synthetic(&params, 500, 8.0, 20, 7);
+        assert_eq!(ds.database.len(), 20);
+        let queries = build_queries(&ds, &params, 7);
+        assert_eq!(queries.queries.len(), params.num_queries);
+    }
+}

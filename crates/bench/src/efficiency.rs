@@ -1,0 +1,92 @@
+//! Efficiency measurements for the P∀NNQ / P∃NNQ experiments
+//! (Figures 6, 7, 8 and 9 of the paper).
+//!
+//! Per query the harness measures, exactly as the paper's plots do:
+//!
+//! * **TS** — the time to compute the adapted (a-posteriori) transition
+//!   matrices of all objects relevant to the query,
+//! * **FA** — the time to sample possible worlds and evaluate the P∀NNQ,
+//! * **EX** — the time to evaluate the P∃NNQ on the same sampled worlds
+//!   (re-sampled with a warm model cache),
+//! * **|C(q)|** and **|I(q)|** — the candidate and influence set sizes after
+//!   UST-tree pruning.
+
+use ust_core::{EngineConfig, Query, QueryEngine};
+use ust_generator::{Dataset, QueryWorkload};
+
+/// Averaged efficiency measurements over a query workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EfficiencyOutcome {
+    /// Mean model-adaptation time per query, seconds.
+    pub ts_seconds: f64,
+    /// Mean P∀NNQ sampling/refinement time per query, seconds.
+    pub fa_seconds: f64,
+    /// Mean P∃NNQ sampling/refinement time per query, seconds.
+    pub ex_seconds: f64,
+    /// Mean candidate-set size `|C(q)|`.
+    pub candidates: f64,
+    /// Mean influence-set size `|I(q)|`.
+    pub influencers: f64,
+    /// Number of queries measured.
+    pub queries: usize,
+}
+
+/// Runs the P∀NNQ / P∃NNQ efficiency measurement over a query workload.
+///
+/// `tau = 0` is used, as in the paper's efficiency experiments, so that no
+/// result is cut off by the threshold.
+pub fn measure_efficiency(
+    dataset: &Dataset,
+    workload: &QueryWorkload,
+    num_samples: usize,
+    seed: u64,
+) -> EfficiencyOutcome {
+    let config = EngineConfig { num_samples, seed, ..Default::default() };
+    let engine = QueryEngine::new(&dataset.database, config);
+    let mut out = EfficiencyOutcome::default();
+    for spec in &workload.queries {
+        let query = Query::at_point(spec.location, spec.times.iter().copied())
+            .expect("workload queries are well-formed");
+        // Cold model cache: the adaptation time of this query is the TS phase.
+        engine.clear_model_cache();
+        let forall = engine.pforall_nn(&query, 0.0).expect("query evaluation succeeds");
+        // Warm cache: the P∃NNQ measures only the sampling/refinement cost.
+        let exists = engine.pexists_nn(&query, 0.0).expect("query evaluation succeeds");
+        out.ts_seconds += forall.stats.adaptation_time.as_secs_f64();
+        out.fa_seconds += forall.stats.sampling_time.as_secs_f64();
+        out.ex_seconds += exists.stats.sampling_time.as_secs_f64();
+        out.candidates += forall.stats.candidates as f64;
+        out.influencers += forall.stats.influencers as f64;
+        out.queries += 1;
+    }
+    if out.queries > 0 {
+        let n = out.queries as f64;
+        out.ts_seconds /= n;
+        out.fa_seconds /= n;
+        out.ex_seconds /= n;
+        out.candidates /= n;
+        out.influencers /= n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::RunScale;
+    use crate::datasets::{build_queries, build_synthetic, ScaleParams};
+
+    #[test]
+    fn efficiency_measurement_produces_sane_numbers() {
+        let mut params = ScaleParams::for_scale(RunScale::Quick);
+        params.num_queries = 2;
+        let ds = build_synthetic(&params, 600, 8.0, 40, 3);
+        let queries = build_queries(&ds, &params, 3);
+        let outcome = measure_efficiency(&ds, &queries, 50, 3);
+        assert_eq!(outcome.queries, 2);
+        assert!(outcome.ts_seconds >= 0.0);
+        assert!(outcome.fa_seconds > 0.0);
+        assert!(outcome.ex_seconds > 0.0);
+        assert!(outcome.influencers >= outcome.candidates);
+    }
+}

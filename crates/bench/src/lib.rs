@@ -1,0 +1,33 @@
+//! # ust-bench
+//!
+//! Experiment harness reproducing the evaluation section (Section 7) of
+//! Niedermayer et al., PVLDB 7(3), 2013.
+//!
+//! Every figure of the paper has a corresponding binary in `src/bin/`
+//! (`fig06_vary_states`, ..., `fig14_pcnn_vary_tau`). Each binary accepts
+//!
+//! * `--quick` — a few-second smoke configuration,
+//! * `--paper-scale` — parameters close to the paper's original sizes (slow),
+//! * `--json <path>` — additionally write the measured series as JSON.
+//!
+//! The default scale is a laptop-friendly reduction of the paper's setup; the
+//! mapping is documented in `DESIGN.md` §3 and the measured outcomes in
+//! `EXPERIMENTS.md`.
+//!
+//! The library part of this crate contains the reusable measurement routines
+//! so that the Criterion micro-benchmarks (`benches/`) and the figure binaries
+//! share one implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod continuous;
+pub mod datasets;
+pub mod effectiveness;
+pub mod efficiency;
+pub mod report;
+pub mod sampling_efficiency;
+
+pub use args::{RunScale, RunSettings};
+pub use report::{ExperimentReport, Row};

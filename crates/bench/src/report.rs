@@ -1,0 +1,154 @@
+//! Tabular experiment reports.
+//!
+//! Every figure binary produces an [`ExperimentReport`]: a list of rows, one
+//! per x-axis value of the corresponding paper figure, each carrying the
+//! measured series values (CPU times, candidate counts, error metrics, ...).
+//! Reports are printed as aligned text tables and can be serialised to JSON.
+
+use serde::Serialize;
+
+/// One row of a report: an x-axis label plus named measured values.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// X-axis label (e.g. `"|S| = 10000"`).
+    pub label: String,
+    /// Named series values in column order.
+    pub values: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>) -> Self {
+        Row { label: label.into(), values: Vec::new() }
+    }
+
+    /// Appends a named value and returns `self` (builder style).
+    pub fn with(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.values.push((name.into(), value));
+        self
+    }
+
+    /// Looks up a value by series name.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.values.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// A complete experiment report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentReport {
+    /// Experiment identifier (e.g. `"figure06_vary_states"`).
+    pub name: String,
+    /// Human-readable description of the experiment and its axes.
+    pub description: String,
+    /// Measured rows.
+    pub rows: Vec<Row>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(name: impl Into<String>, description: impl Into<String>) -> Self {
+        ExperimentReport { name: name.into(), description: description.into(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n# {}\n", self.name, self.description));
+        if self.rows.is_empty() {
+            out.push_str("(no rows)\n");
+            return out;
+        }
+        // Column headers from the first row (all rows share the series).
+        let headers: Vec<&str> =
+            self.rows[0].values.iter().map(|(n, _)| n.as_str()).collect();
+        let label_width = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once("x".len()))
+            .max()
+            .unwrap_or(1);
+        let col_width = headers.iter().map(|h| h.len().max(12)).collect::<Vec<_>>();
+        out.push_str(&format!("{:<label_width$}", "x"));
+        for (h, w) in headers.iter().zip(&col_width) {
+            out.push_str(&format!("  {h:>w$}"));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:<label_width$}", row.label));
+            for ((_, v), w) in row.values.iter().zip(&col_width) {
+                out.push_str(&format!("  {:>w$.6}", v));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_table());
+    }
+
+    /// Serialises the report to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+
+    /// Writes the JSON report to a file if a path is given.
+    pub fn maybe_write_json(&self, path: &Option<String>) -> std::io::Result<()> {
+        if let Some(path) = path {
+            std::fs::write(path, self.to_json())?;
+            eprintln!("wrote JSON report to {path}");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentReport {
+        let mut r = ExperimentReport::new("fig_test", "description");
+        r.push(Row::new("|S|=10k").with("TS", 1.5).with("FA", 0.5));
+        r.push(Row::new("|S|=100k").with("TS", 12.0).with("FA", 3.25));
+        r
+    }
+
+    #[test]
+    fn row_lookup() {
+        let row = Row::new("x").with("a", 1.0).with("b", 2.0);
+        assert_eq!(row.value("a"), Some(1.0));
+        assert_eq!(row.value("c"), None);
+    }
+
+    #[test]
+    fn table_contains_headers_and_values() {
+        let table = sample().to_table();
+        assert!(table.contains("fig_test"));
+        assert!(table.contains("TS"));
+        assert!(table.contains("FA"));
+        assert!(table.contains("|S|=100k"));
+        assert!(table.contains("12.0"));
+    }
+
+    #[test]
+    fn json_roundtrip_contains_rows() {
+        let json = sample().to_json();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["name"], "fig_test");
+        assert_eq!(value["rows"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = ExperimentReport::new("empty", "d");
+        assert!(r.to_table().contains("(no rows)"));
+    }
+}

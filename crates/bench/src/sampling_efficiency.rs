@@ -1,0 +1,145 @@
+//! Sampling-efficiency comparison (Figure 10 of the paper).
+//!
+//! Measures, as a function of the number of observations per object, how many
+//! trajectory generations are required to obtain a single valid sample:
+//!
+//! * **TS1** — full-trajectory rejection sampling against the a-priori chain
+//!   (expected attempts grow exponentially with the number of observations),
+//! * **TS2** — segment-wise rejection sampling (attempts grow linearly),
+//! * **FB**  — the forward–backward a-posteriori sampler of the paper, which
+//!   needs exactly one attempt per valid sample.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ust_generator::{ObjectWorkloadConfig, SyntheticNetworkConfig};
+use ust_markov::AdaptedModel;
+use ust_sampling::{PosteriorSampler, RejectionSampler, SegmentedSampler};
+
+/// Measured attempt counts for one number of observations.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingEfficiencyRow {
+    /// Number of observations per object.
+    pub observations: usize,
+    /// Mean attempts per valid trajectory for the full rejection sampler.
+    pub ts1_attempts: f64,
+    /// Mean attempts per valid trajectory for the segment-wise sampler.
+    pub ts2_attempts: f64,
+    /// Attempts per valid trajectory for the a-posteriori sampler (always 1).
+    pub fb_attempts: f64,
+    /// Fraction of TS1 runs that exhausted the attempt budget.
+    pub ts1_timeouts: f64,
+}
+
+/// Configuration of the sampling-efficiency experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingEfficiencyConfig {
+    /// Number of states of the synthetic network the objects move on.
+    pub num_states: usize,
+    /// Numbers of observations to sweep over.
+    pub max_observations: usize,
+    /// Number of objects averaged per sweep point.
+    pub trials: usize,
+    /// Attempt budget for the rejection samplers.
+    pub attempt_cap: u64,
+    /// Time between observations.
+    pub observation_interval: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SamplingEfficiencyConfig {
+    fn default() -> Self {
+        SamplingEfficiencyConfig {
+            num_states: 2_000,
+            max_observations: 6,
+            trials: 5,
+            attempt_cap: 200_000,
+            observation_interval: 8,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs the experiment: one row per observation count in `2..=max_observations`.
+pub fn measure_sampling_efficiency(cfg: &SamplingEfficiencyConfig) -> Vec<SamplingEfficiencyRow> {
+    let network = SyntheticNetworkConfig {
+        num_states: cfg.num_states,
+        branching_factor: 8.0,
+        seed: cfg.seed,
+    }
+    .generate();
+    let model = network.distance_weighted_model(1.0);
+    let mut rows = Vec::new();
+    for num_obs in 2..=cfg.max_observations {
+        let lifetime = (num_obs as u32 - 1) * cfg.observation_interval;
+        let obj_cfg = ObjectWorkloadConfig {
+            num_objects: cfg.trials,
+            lifetime,
+            horizon: lifetime + 1,
+            observation_interval: cfg.observation_interval,
+            lag: 0.5,
+            standing_fraction: 0.0,
+            seed: cfg.seed.wrapping_add(num_obs as u64),
+        };
+        let objects = ust_generator::objects::generate_objects(&network, &obj_cfg, 0);
+        let mut ts1_total = 0.0;
+        let mut ts2_total = 0.0;
+        let mut ts1_timeouts = 0usize;
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1000 + num_obs as u64));
+        for g in &objects {
+            let obs = g.object.observation_pairs();
+            let ts1 = RejectionSampler::new(&model, &obs).sample_one(&mut rng, cfg.attempt_cap);
+            if !ts1.succeeded() {
+                ts1_timeouts += 1;
+            }
+            ts1_total += ts1.attempts as f64;
+            let ts2 = SegmentedSampler::new(&model, &obs).sample_one(&mut rng, cfg.attempt_cap);
+            ts2_total += ts2.attempts as f64;
+            // The a-posteriori sampler needs exactly one attempt; exercise it
+            // to confirm the sample is valid.
+            let adapted = AdaptedModel::build(&model, &obs).expect("observations are consistent");
+            let sample = PosteriorSampler::new(&adapted).sample(&mut rng);
+            assert!(sample.consistent_with(&obs));
+        }
+        let n = objects.len().max(1) as f64;
+        rows.push(SamplingEfficiencyRow {
+            observations: num_obs,
+            ts1_attempts: ts1_total / n,
+            ts2_attempts: ts2_total / n,
+            fb_attempts: 1.0,
+            ts1_timeouts: ts1_timeouts as f64 / n,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempts_grow_with_observation_count() {
+        let cfg = SamplingEfficiencyConfig {
+            num_states: 400,
+            max_observations: 4,
+            trials: 3,
+            attempt_cap: 20_000,
+            observation_interval: 6,
+            seed: 11,
+        };
+        let rows = measure_sampling_efficiency(&cfg);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.ts1_attempts >= 1.0);
+            assert!(row.ts2_attempts >= 1.0);
+            assert_eq!(row.fb_attempts, 1.0);
+            assert!(
+                row.ts1_attempts >= row.fb_attempts && row.ts2_attempts >= row.fb_attempts,
+                "the a-posteriori sampler is never beaten"
+            );
+        }
+        // More observations must not make TS1 cheaper (allow small noise at
+        // this tiny trial count by comparing first vs last).
+        assert!(rows.last().unwrap().ts1_attempts >= rows.first().unwrap().ts1_attempts * 0.5);
+    }
+}

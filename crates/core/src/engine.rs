@@ -1,0 +1,617 @@
+//! The sampling-based query engine (Sections 3.3, 5 and 6 of the paper).
+//!
+//! Evaluation of a query proceeds in three phases:
+//!
+//! 1. **Filter** — the UST-tree prunes objects that can never be a nearest
+//!    neighbor during the query interval, producing the ∀-candidate set
+//!    `C(q)` and the influence set `I(q)`.
+//! 2. **Model adaptation ("TS")** — for every remaining object the
+//!    forward–backward adaptation turns the a-priori chain plus observations
+//!    into the a-posteriori chain. Adapted models are cached, since "this
+//!    phase can be performed once and used for all queries".
+//! 3. **Refinement ("FA"/"EX"/"SA")** — possible worlds are sampled from the
+//!    a-posteriori models; in each world the certain-trajectory NN primitives
+//!    decide which objects are nearest neighbors at which query timestamps;
+//!    averaging over worlds yields the probability estimates that are
+//!    compared against `τ`.
+
+use crate::pcnn::{apriori_timesets, PcnnConfig};
+use crate::query::{Query, QueryError};
+use crate::results::{ObjectProbability, PcnnObjectResult, PcnnOutcome, QueryOutcome, QueryStats};
+use crate::ObjectId;
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ust_index::{UstTree, UstTreeConfig};
+use ust_markov::{AdaptedModel, ModelAdaptation};
+use ust_sampling::WorldSampler;
+use ust_trajectory::{NnTimeProfile, TimeMask, TrajectoryDatabase};
+
+/// Configuration of the query engine.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of possible worlds sampled per query (the paper uses 10 000
+    /// samples per object).
+    pub num_samples: usize,
+    /// RNG seed, so query results are reproducible.
+    pub seed: u64,
+    /// Whether to build and use the UST-tree filter step. Disabling it turns
+    /// every object overlapping the query interval into an influence object
+    /// (the ablation discussed in DESIGN.md).
+    pub use_index: bool,
+    /// Report only maximal qualifying timestamp sets from PCNN queries.
+    pub maximal_pcnn_sets: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { num_samples: 10_000, seed: 0, use_index: true, maximal_pcnn_sets: false }
+    }
+}
+
+impl EngineConfig {
+    /// Convenience constructor overriding the number of sampled worlds.
+    pub fn with_samples(num_samples: usize) -> Self {
+        EngineConfig { num_samples, ..Default::default() }
+    }
+}
+
+/// The probabilistic NN query engine over one trajectory database.
+pub struct QueryEngine<'a> {
+    db: &'a TrajectoryDatabase,
+    index: Option<UstTree>,
+    config: EngineConfig,
+    cache: RwLock<FxHashMap<ObjectId, Arc<AdaptedModel>>>,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine, building the UST-tree if the configuration enables
+    /// the filter step.
+    pub fn new(db: &'a TrajectoryDatabase, config: EngineConfig) -> Self {
+        let index = if config.use_index { Some(UstTree::build(db)) } else { None };
+        QueryEngine { db, index, config, cache: RwLock::new(FxHashMap::default()) }
+    }
+
+    /// Creates an engine reusing a pre-built UST-tree.
+    pub fn with_index(db: &'a TrajectoryDatabase, index: UstTree, config: EngineConfig) -> Self {
+        QueryEngine { db, index: Some(index), config, cache: RwLock::new(FxHashMap::default()) }
+    }
+
+    /// Creates an engine with a custom UST-tree configuration.
+    pub fn with_index_config(
+        db: &'a TrajectoryDatabase,
+        config: EngineConfig,
+        tree_cfg: &UstTreeConfig,
+    ) -> Self {
+        let index = if config.use_index { Some(UstTree::build_with(db, tree_cfg)) } else { None };
+        QueryEngine { db, index, config, cache: RwLock::new(FxHashMap::default()) }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &TrajectoryDatabase {
+        self.db
+    }
+
+    /// The UST-tree, if the filter step is enabled.
+    pub fn index(&self) -> Option<&UstTree> {
+        self.index.as_ref()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Discards all cached a-posteriori models (useful for benchmarking the
+    /// adaptation phase in isolation).
+    pub fn clear_model_cache(&self) {
+        self.cache.write().clear();
+    }
+
+    /// Number of currently cached a-posteriori models.
+    pub fn cached_models(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    // ------------------------------------------------------------------
+    // Model adaptation ("TS" phase)
+    // ------------------------------------------------------------------
+
+    /// Returns (building and caching if necessary) the a-posteriori model of
+    /// an object.
+    pub fn adapted_model(&self, id: ObjectId) -> Result<Arc<AdaptedModel>, QueryError> {
+        if let Some(m) = self.cache.read().get(&id) {
+            return Ok(m.clone());
+        }
+        let object = self
+            .db
+            .object(id)
+            .ok_or(QueryError::Adaptation {
+                object: id,
+                error: ust_markov::AdaptError::NoObservations,
+            })?;
+        let model = self.db.model_for(id);
+        let adapted = ModelAdaptation::new()
+            .adapt(model.as_ref(), &object.observation_pairs())
+            .map_err(|error| QueryError::Adaptation { object: id, error })?;
+        let adapted = Arc::new(adapted);
+        self.cache.write().insert(id, adapted.clone());
+        Ok(adapted)
+    }
+
+    /// Adapts (or fetches from the cache) the models of the given objects,
+    /// returning them together with the wall-clock time spent.
+    pub fn prepare_objects(
+        &self,
+        ids: &[ObjectId],
+    ) -> Result<(Vec<(ObjectId, Arc<AdaptedModel>)>, Duration), QueryError> {
+        let start = Instant::now();
+        let mut out = Vec::with_capacity(ids.len());
+        for &id in ids {
+            out.push((id, self.adapted_model(id)?));
+        }
+        Ok((out, start.elapsed()))
+    }
+
+    /// Adapts the models of *all* database objects (the full "TS" phase of the
+    /// experiments) and returns the elapsed wall-clock time.
+    pub fn prepare_all(&self) -> Result<Duration, QueryError> {
+        let ids: Vec<ObjectId> = self.db.objects().iter().map(|o| o.id()).collect();
+        let (_, elapsed) = self.prepare_objects(&ids)?;
+        Ok(elapsed)
+    }
+
+    // ------------------------------------------------------------------
+    // Filter step
+    // ------------------------------------------------------------------
+
+    /// Runs the filter step for a 1-NN query: returns `(candidates, influencers)`.
+    ///
+    /// With the UST-tree enabled this is the `dmin`/`dmax` pruning of
+    /// Section 6; without it, every object covering (overlapping) the query
+    /// interval is a candidate (influencer).
+    pub fn filter(&self, query: &Query) -> Result<(Vec<ObjectId>, Vec<ObjectId>), QueryError> {
+        self.filter_knn(query, 1)
+    }
+
+    /// The filter step for k-NN queries (the pruning distance is the k-th
+    /// smallest `dmax` per timestamp).
+    pub fn filter_knn(
+        &self,
+        query: &Query,
+        k: usize,
+    ) -> Result<(Vec<ObjectId>, Vec<ObjectId>), QueryError> {
+        query.validate()?;
+        let times = query.times();
+        match &self.index {
+            Some(tree) => {
+                let pruning = tree.prune_knn(
+                    times,
+                    |t| query.position_at(t).expect("query validated above"),
+                    k,
+                );
+                Ok((pruning.candidates, pruning.influencers))
+            }
+            None => {
+                let from = query.start();
+                let to = query.end();
+                let mut candidates = self.db.objects_covering(from, to);
+                let mut influencers = self.db.objects_overlapping(from, to);
+                candidates.sort_unstable();
+                influencers.sort_unstable();
+                Ok((candidates, influencers))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Refinement (Monte-Carlo sampling)
+    // ------------------------------------------------------------------
+
+    /// Samples possible worlds over the influence set and collects, for every
+    /// candidate, the per-world NN membership masks and, for every influence
+    /// object, the number of worlds with at least one NN timestamp.
+    fn sample(
+        &self,
+        query: &Query,
+        candidates: &[ObjectId],
+        influencers: &[ObjectId],
+        k: usize,
+    ) -> Result<SamplingOutput, QueryError> {
+        let (models, adaptation_time) = self.prepare_objects(influencers)?;
+        let sampler = WorldSampler::from_models(models);
+        let times = query.times();
+        let space = self.db.state_space();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        let start = Instant::now();
+        let mut candidate_masks: FxHashMap<ObjectId, Vec<TimeMask>> = candidates
+            .iter()
+            .map(|&id| (id, Vec::with_capacity(self.config.num_samples)))
+            .collect();
+        let mut exists_counts: FxHashMap<ObjectId, usize> = FxHashMap::default();
+
+        for _ in 0..self.config.num_samples {
+            let world = sampler.sample_world(&mut rng);
+            let refs = world.as_refs();
+            let profile = NnTimeProfile::compute_knn(&refs, space, times, |t| {
+                query.position_at(t).expect("query validated")
+            }, k);
+            for (id, mask) in profile.iter() {
+                if mask.any() {
+                    *exists_counts.entry(id).or_insert(0) += 1;
+                }
+            }
+            for (&id, masks) in candidate_masks.iter_mut() {
+                let mask = profile
+                    .mask(id)
+                    .cloned()
+                    .unwrap_or_else(|| TimeMask::new(times.len()));
+                masks.push(mask);
+            }
+        }
+        let sampling_time = start.elapsed();
+
+        Ok(SamplingOutput {
+            candidate_masks,
+            exists_counts,
+            worlds: self.config.num_samples,
+            adaptation_time,
+            sampling_time,
+        })
+    }
+
+    fn stats_from(
+        &self,
+        candidates: &[ObjectId],
+        influencers: &[ObjectId],
+        sampling: &SamplingOutput,
+    ) -> QueryStats {
+        QueryStats {
+            candidates: candidates.len(),
+            influencers: influencers.len(),
+            adaptation_time: sampling.adaptation_time,
+            sampling_time: sampling.sampling_time,
+            worlds: sampling.worlds,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Query semantics
+    // ------------------------------------------------------------------
+
+    /// P∀NNQ (Definition 2): objects that are the nearest neighbor of `q` at
+    /// every timestamp of `T` with probability at least `tau`.
+    pub fn pforall_nn(&self, query: &Query, tau: f64) -> Result<QueryOutcome, QueryError> {
+        self.pforall_knn(query, 1, tau)
+    }
+
+    /// P∃NNQ (Definition 1): objects that are the nearest neighbor of `q` at
+    /// some timestamp of `T` with probability at least `tau`.
+    pub fn pexists_nn(&self, query: &Query, tau: f64) -> Result<QueryOutcome, QueryError> {
+        self.pexists_knn(query, 1, tau)
+    }
+
+    /// P∀kNNQ (Section 8): objects that belong to the k-NN set of `q` at every
+    /// timestamp of `T` with probability at least `tau`.
+    pub fn pforall_knn(
+        &self,
+        query: &Query,
+        k: usize,
+        tau: f64,
+    ) -> Result<QueryOutcome, QueryError> {
+        Query::validate_threshold(tau)?;
+        let (candidates, influencers) = self.filter_knn(query, k)?;
+        let sampling = self.sample(query, &candidates, &influencers, k)?;
+        let mut results: Vec<ObjectProbability> = sampling
+            .candidate_masks
+            .iter()
+            .map(|(&object, masks)| {
+                let hits = masks.iter().filter(|m| m.all()).count();
+                ObjectProbability {
+                    object,
+                    probability: hits as f64 / sampling.worlds.max(1) as f64,
+                }
+            })
+            .filter(|r| r.probability >= tau && r.probability > 0.0)
+            .collect();
+        sort_results(&mut results);
+        let stats = self.stats_from(&candidates, &influencers, &sampling);
+        Ok(QueryOutcome { results, stats })
+    }
+
+    /// P∃kNNQ (Section 8): objects that belong to the k-NN set of `q` at some
+    /// timestamp of `T` with probability at least `tau`.
+    pub fn pexists_knn(
+        &self,
+        query: &Query,
+        k: usize,
+        tau: f64,
+    ) -> Result<QueryOutcome, QueryError> {
+        Query::validate_threshold(tau)?;
+        let (candidates, influencers) = self.filter_knn(query, k)?;
+        let sampling = self.sample(query, &candidates, &influencers, k)?;
+        let mut results: Vec<ObjectProbability> = sampling
+            .exists_counts
+            .iter()
+            .map(|(&object, &hits)| ObjectProbability {
+                object,
+                probability: hits as f64 / sampling.worlds.max(1) as f64,
+            })
+            .filter(|r| r.probability >= tau && r.probability > 0.0)
+            .collect();
+        sort_results(&mut results);
+        let stats = self.stats_from(&candidates, &influencers, &sampling);
+        Ok(QueryOutcome { results, stats })
+    }
+
+    /// PCNNQ (Definition 3, Algorithm 1): per object, the timestamp subsets of
+    /// `T` on which it is a ∀-nearest-neighbor with probability at least `tau`.
+    pub fn pcnn(&self, query: &Query, tau: f64) -> Result<PcnnOutcome, QueryError> {
+        self.pcknn(query, 1, tau)
+    }
+
+    /// PCkNNQ (Section 8): the continuous query under k-NN semantics.
+    pub fn pcknn(&self, query: &Query, k: usize, tau: f64) -> Result<PcnnOutcome, QueryError> {
+        Query::validate_threshold(tau)?;
+        let (candidates, influencers) = self.filter_knn(query, k)?;
+        let sampling = self.sample(query, &candidates, &influencers, k)?;
+        let cfg = if self.config.maximal_pcnn_sets {
+            PcnnConfig::maximal(tau)
+        } else {
+            PcnnConfig::new(tau)
+        };
+        let times = query.times();
+        let mut candidate_sets_evaluated = 0usize;
+        let mut results: Vec<PcnnObjectResult> = Vec::new();
+        let mut ordered: Vec<ObjectId> = sampling.candidate_masks.keys().copied().collect();
+        ordered.sort_unstable();
+        for object in ordered {
+            let masks = &sampling.candidate_masks[&object];
+            let lattice = apriori_timesets(masks, times.len(), &cfg);
+            candidate_sets_evaluated += lattice.candidate_sets_evaluated;
+            if lattice.sets.is_empty() {
+                continue;
+            }
+            let sets = lattice
+                .sets
+                .into_iter()
+                .map(|(indices, p)| {
+                    (indices.into_iter().map(|i| times[i]).collect::<Vec<_>>(), p)
+                })
+                .collect();
+            results.push(PcnnObjectResult { object, sets });
+        }
+        let stats = self.stats_from(&candidates, &influencers, &sampling);
+        Ok(PcnnOutcome { results, stats, candidate_sets_evaluated })
+    }
+}
+
+/// Output of the internal sampling pass.
+struct SamplingOutput {
+    candidate_masks: FxHashMap<ObjectId, Vec<TimeMask>>,
+    exists_counts: FxHashMap<ObjectId, usize>,
+    worlds: usize,
+    adaptation_time: Duration,
+    sampling_time: Duration,
+}
+
+fn sort_results(results: &mut [ObjectProbability]) {
+    results.sort_by(|a, b| {
+        b.probability
+            .total_cmp(&a.probability)
+            .then_with(|| a.object.cmp(&b.object))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use ust_markov::{CsrMatrix, MarkovModel};
+    use ust_spatial::{Point, StateSpace};
+    use ust_trajectory::UncertainObject;
+
+    /// The example of Figure 1: states s1..s4 at increasing distance from the
+    /// query q, objects o1 (three possible trajectories) and o2 (two possible
+    /// trajectories) over T = {1, 2, 3}.
+    fn figure1_db() -> TrajectoryDatabase {
+        // Distances from q: s1 < s2 < s3 < s4. Place them on a line with q at x=0.
+        let space = StdArc::new(StateSpace::from_points(vec![
+            Point::new(1.0, 0.0), // s1
+            Point::new(2.0, 0.0), // s2
+            Point::new(3.0, 0.0), // s3
+            Point::new(4.0, 0.0), // s4
+        ]));
+        // o1: starts at s2 (t=1); s2 -> {s1, s3} each 0.5; s1 absorbing; s3 -> {s1, s3}.
+        let o1_model = MarkovModel::homogeneous(CsrMatrix::from_rows(vec![
+            vec![(0, 1.0)],
+            vec![(0, 0.5), (2, 0.5)],
+            vec![(0, 0.5), (2, 0.5)],
+            vec![(3, 1.0)],
+        ]));
+        // o2: starts at s3 (t=1); s3 -> {s2, s4} each 0.5; s2 -> s2; s4 -> s4.
+        let o2_model = MarkovModel::homogeneous(CsrMatrix::from_rows(vec![
+            vec![(0, 1.0)],
+            vec![(1, 1.0)],
+            vec![(1, 0.5), (3, 0.5)],
+            vec![(3, 1.0)],
+        ]));
+        let objects = vec![
+            UncertainObject::from_pairs(1, vec![(1, 1)]).unwrap(),
+            UncertainObject::from_pairs(2, vec![(1, 2)]).unwrap(),
+        ];
+        let mut db = TrajectoryDatabase::with_objects(
+            space,
+            StdArc::new(o1_model),
+            objects,
+        );
+        db.set_object_model(2, StdArc::new(o2_model));
+        db
+    }
+
+    fn query() -> Query {
+        Query::at_point(Point::new(0.0, 0.0), vec![1, 2, 3]).unwrap()
+    }
+
+    /// With a single observation at t=1 the adapted model equals the a-priori
+    /// forward propagation only over [1,1]; to make the Figure 1 example work
+    /// over T={1,2,3} the observations must cover the interval. We therefore
+    /// additionally pin the final states in a way that preserves the paper's
+    /// possible worlds: o1 is left unpinned (single observation covers only
+    /// t=1), so for the full Figure 1 semantics we instead use the exact
+    /// engine in `exact.rs` tests. Here we verify engine-level behaviour on a
+    /// database where coverage spans the query interval.
+    fn covered_db() -> TrajectoryDatabase {
+        let space = StdArc::new(StateSpace::from_points(vec![
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(4.0, 0.0),
+        ]));
+        let model = MarkovModel::homogeneous(CsrMatrix::from_rows(vec![
+            vec![(0, 1.0)],
+            vec![(0, 0.5), (2, 0.5)],
+            vec![(0, 0.5), (2, 0.5)],
+            vec![(3, 1.0)],
+        ]));
+        let objects = vec![
+            // o1 starts at s2, ends (pinned) at s1.
+            UncertainObject::from_pairs(1, vec![(1, 1), (3, 0)]).unwrap(),
+            // o2 sits at s4 the whole time: never the NN.
+            UncertainObject::from_pairs(2, vec![(1, 3), (3, 3)]).unwrap(),
+        ];
+        TrajectoryDatabase::with_objects(space, StdArc::new(model), objects)
+    }
+
+    #[test]
+    fn forall_and_exists_on_a_dominant_object() {
+        let db = covered_db();
+        let engine = QueryEngine::new(&db, EngineConfig { num_samples: 2_000, ..Default::default() });
+        let q = query();
+        let forall = engine.pforall_nn(&q, 0.0).unwrap();
+        assert_eq!(forall.results.len(), 1);
+        assert_eq!(forall.results[0].object, 1);
+        assert!((forall.results[0].probability - 1.0).abs() < 1e-9);
+        let exists = engine.pexists_nn(&q, 0.0).unwrap();
+        assert!(exists.contains(1));
+        assert!(!exists.contains(2), "object 2 is never the nearest neighbor");
+        assert_eq!(forall.stats.worlds, 2_000);
+        assert!(forall.stats.candidates >= 1);
+        assert!(forall.stats.influencers >= forall.stats.candidates);
+    }
+
+    #[test]
+    fn figure1_database_builds_and_filters() {
+        let db = figure1_db();
+        let engine = QueryEngine::new(&db, EngineConfig::with_samples(100));
+        // Query restricted to t=1 (both objects observed there).
+        let q = Query::at_point(Point::new(0.0, 0.0), vec![1]).unwrap();
+        let outcome = engine.pforall_nn(&q, 0.0).unwrap();
+        // At t=1, o1 is at s2 (dist 2) and o2 at s3 (dist 3): o1 is certainly the NN.
+        assert_eq!(outcome.results.len(), 1);
+        assert_eq!(outcome.results[0].object, 1);
+        assert!((outcome.results[0].probability - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_filters_results() {
+        let db = covered_db();
+        let engine = QueryEngine::new(&db, EngineConfig::with_samples(500));
+        let q = query();
+        let exists = engine.pexists_nn(&q, 0.9).unwrap();
+        assert!(exists.contains(1));
+        let exists_strict = engine.pexists_nn(&q, 1.1);
+        assert!(exists_strict.is_err(), "invalid threshold must be rejected");
+    }
+
+    #[test]
+    fn knn_with_k2_admits_both_objects() {
+        let db = covered_db();
+        let engine = QueryEngine::new(&db, EngineConfig::with_samples(500));
+        let q = query();
+        let forall_k2 = engine.pforall_knn(&q, 2, 0.5).unwrap();
+        assert!(forall_k2.contains(1));
+        assert!(forall_k2.contains(2), "with k=2 both objects are always in the kNN set");
+        let forall_k1 = engine.pforall_knn(&q, 1, 0.5).unwrap();
+        assert!(!forall_k1.contains(2));
+    }
+
+    #[test]
+    fn pcnn_returns_full_interval_for_dominant_object() {
+        let db = covered_db();
+        let engine = QueryEngine::new(&db, EngineConfig::with_samples(500));
+        let q = query();
+        let outcome = engine.pcnn(&q, 0.5).unwrap();
+        let sets = outcome.sets_of(1).expect("object 1 qualifies");
+        assert!(sets.iter().any(|(ts, p)| ts == &vec![1, 2, 3] && *p > 0.99));
+        assert!(outcome.sets_of(2).is_none());
+        assert!(outcome.candidate_sets_evaluated >= 3);
+        assert!(outcome.total_result_sets() >= 7, "all subsets of {{1,2,3}} qualify");
+    }
+
+    #[test]
+    fn maximal_pcnn_reports_only_the_largest_sets() {
+        let db = covered_db();
+        let engine = QueryEngine::new(
+            &db,
+            EngineConfig { num_samples: 500, maximal_pcnn_sets: true, ..Default::default() },
+        );
+        let q = query();
+        let outcome = engine.pcnn(&q, 0.5).unwrap();
+        let sets = outcome.sets_of(1).unwrap();
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].0, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn engine_without_index_gives_same_probabilities() {
+        let db = covered_db();
+        let q = query();
+        let with_index = QueryEngine::new(&db, EngineConfig::with_samples(1_000));
+        let without_index = QueryEngine::new(
+            &db,
+            EngineConfig { num_samples: 1_000, use_index: false, ..Default::default() },
+        );
+        let a = with_index.pforall_nn(&q, 0.0).unwrap();
+        let b = without_index.pforall_nn(&q, 0.0).unwrap();
+        assert_eq!(a.results.len(), b.results.len());
+        for r in &a.results {
+            assert!((r.probability - b.probability_of(r.object)).abs() < 0.05);
+        }
+        assert!(without_index.index().is_none());
+        assert!(with_index.index().is_some());
+    }
+
+    #[test]
+    fn model_cache_is_reused_across_queries() {
+        let db = covered_db();
+        let engine = QueryEngine::new(&db, EngineConfig::with_samples(100));
+        assert_eq!(engine.cached_models(), 0);
+        let q = query();
+        engine.pforall_nn(&q, 0.0).unwrap();
+        let cached = engine.cached_models();
+        assert!(cached >= 1);
+        engine.pexists_nn(&q, 0.0).unwrap();
+        assert_eq!(engine.cached_models(), cached, "second query reuses the cache");
+        engine.clear_model_cache();
+        assert_eq!(engine.cached_models(), 0);
+        let elapsed = engine.prepare_all().unwrap();
+        assert!(elapsed >= Duration::ZERO);
+        assert_eq!(engine.cached_models(), db.len());
+    }
+
+    #[test]
+    fn queries_outside_any_objects_lifetime_return_nothing() {
+        let db = covered_db();
+        let engine = QueryEngine::new(&db, EngineConfig::with_samples(100));
+        let q = Query::at_point(Point::new(0.0, 0.0), vec![50, 51]).unwrap();
+        let outcome = engine.pforall_nn(&q, 0.0).unwrap();
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.stats.candidates, 0);
+        assert_eq!(outcome.stats.influencers, 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! The Apriori-style lattice of Algorithm 1 (PCτNN).
+//!
+//! The PCNN query asks, per object, for the timestamp subsets `T_i ⊆ T` on
+//! which the object is a ∀-nearest-neighbor with probability at least `τ`.
+//! The number of subsets is exponential, but the probability
+//! `P∀NN(o, q, T_i)` is *anti-monotone*: if `T_j ⊆ T_i` then
+//! `P∀NN(o, q, T_i) ≤ P∀NN(o, q, T_j)`. Algorithm 1 therefore explores the
+//! subset lattice level by level exactly like the Apriori frequent-itemset
+//! algorithm [27]: a `k`-subset is only generated (and validated) if all of
+//! its `(k-1)`-subsets qualified.
+//!
+//! The validation step — estimating `P∀NN(o, q, T_k)` — uses the Monte-Carlo
+//! machinery: for every sampled world the engine records the set of query
+//! timestamps at which the object is a nearest neighbor (a
+//! [`TimeMask`]), and the probability of a timestamp set is the fraction of
+//! worlds whose mask contains it.
+
+use rustc_hash::FxHashSet;
+use ust_trajectory::TimeMask;
+
+/// Configuration of the PCNN lattice expansion.
+#[derive(Debug, Clone, Copy)]
+pub struct PcnnConfig {
+    /// Probability threshold `τ`.
+    pub tau: f64,
+    /// If set, only *maximal* qualifying sets are reported, i.e. sets that are
+    /// not a subset of another qualifying set (the redundancy-reducing variant
+    /// of Definition 3).
+    pub maximal_only: bool,
+}
+
+impl PcnnConfig {
+    /// Standard configuration: report all qualifying sets.
+    pub fn new(tau: f64) -> Self {
+        PcnnConfig { tau, maximal_only: false }
+    }
+
+    /// Report only maximal qualifying sets.
+    pub fn maximal(tau: f64) -> Self {
+        PcnnConfig { tau, maximal_only: true }
+    }
+}
+
+/// Result of the lattice expansion for a single object.
+#[derive(Debug, Clone)]
+pub struct PcnnResult {
+    /// Qualifying timestamp sets, each as sorted indices into the query's
+    /// timestamp list, together with their estimated probability.
+    pub sets: Vec<(Vec<usize>, f64)>,
+    /// Number of candidate sets whose probability was evaluated (the number
+    /// of validation steps of Algorithm 1).
+    pub candidate_sets_evaluated: usize,
+}
+
+/// Estimates `P∀NN(o, q, T_k)` for the timestamp subset given by `indices`
+/// (sorted indices into the query timestamps) from per-world membership masks.
+pub fn subset_probability(world_masks: &[TimeMask], indices: &[usize]) -> f64 {
+    if world_masks.is_empty() {
+        return 0.0;
+    }
+    let num_times = world_masks[0].len();
+    let subset = TimeMask::from_indices(num_times, indices.iter().copied());
+    let hits = world_masks.iter().filter(|m| m.contains_all(&subset)).count();
+    hits as f64 / world_masks.len() as f64
+}
+
+/// Runs Algorithm 1 for one object.
+///
+/// `world_masks` holds, for every sampled possible world, the set of query
+/// timestamps (as indices `0..num_times`) at which the object was a nearest
+/// neighbor. Returns all qualifying timestamp sets.
+pub fn apriori_timesets(
+    world_masks: &[TimeMask],
+    num_times: usize,
+    cfg: &PcnnConfig,
+) -> PcnnResult {
+    let mut evaluated = 0usize;
+    let mut all_results: Vec<(Vec<usize>, f64)> = Vec::new();
+
+    // L1: singleton timestamp sets (line 1 of Algorithm 1).
+    let mut current_level: Vec<(Vec<usize>, f64)> = Vec::new();
+    for i in 0..num_times {
+        evaluated += 1;
+        let p = subset_probability(world_masks, &[i]);
+        if p >= cfg.tau {
+            current_level.push((vec![i], p));
+        }
+    }
+    all_results.extend(current_level.iter().cloned());
+
+    // Lk from Lk-1 (lines 2-5).
+    while current_level.len() > 1 {
+        let prev_sets: FxHashSet<Vec<usize>> =
+            current_level.iter().map(|(s, _)| s.clone()).collect();
+        let mut next_level: Vec<(Vec<usize>, f64)> = Vec::new();
+        let mut generated: FxHashSet<Vec<usize>> = FxHashSet::default();
+        for a in 0..current_level.len() {
+            for b in (a + 1)..current_level.len() {
+                let (sa, _) = &current_level[a];
+                let (sb, _) = &current_level[b];
+                // Apriori join: both sets must agree on all but the last element.
+                if sa[..sa.len() - 1] != sb[..sb.len() - 1] {
+                    continue;
+                }
+                let mut joined = sa.clone();
+                joined.push(*sb.last().expect("non-empty"));
+                joined.sort_unstable();
+                if !generated.insert(joined.clone()) {
+                    continue;
+                }
+                // Prune: every (k-1)-subset must have qualified.
+                let all_subsets_qualify = (0..joined.len()).all(|drop| {
+                    let mut sub = joined.clone();
+                    sub.remove(drop);
+                    prev_sets.contains(&sub)
+                });
+                if !all_subsets_qualify {
+                    continue;
+                }
+                evaluated += 1;
+                let p = subset_probability(world_masks, &joined);
+                if p >= cfg.tau {
+                    next_level.push((joined, p));
+                }
+            }
+        }
+        if next_level.is_empty() {
+            break;
+        }
+        all_results.extend(next_level.iter().cloned());
+        current_level = next_level;
+    }
+
+    if cfg.maximal_only {
+        all_results = keep_maximal(all_results);
+    }
+    PcnnResult { sets: all_results, candidate_sets_evaluated: evaluated }
+}
+
+/// Removes every set that is a proper subset of another qualifying set.
+fn keep_maximal(sets: Vec<(Vec<usize>, f64)>) -> Vec<(Vec<usize>, f64)> {
+    let mut keep = Vec::new();
+    for (i, (s, p)) in sets.iter().enumerate() {
+        let is_subsumed = sets.iter().enumerate().any(|(j, (other, _))| {
+            i != j && other.len() > s.len() && s.iter().all(|x| other.contains(x))
+        });
+        if !is_subsumed {
+            keep.push((s.clone(), *p));
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds world masks from explicit per-world index lists.
+    fn masks(num_times: usize, worlds: &[&[usize]]) -> Vec<TimeMask> {
+        worlds
+            .iter()
+            .map(|w| TimeMask::from_indices(num_times, w.iter().copied()))
+            .collect()
+    }
+
+    #[test]
+    fn subset_probability_counts_containing_worlds() {
+        let m = masks(3, &[&[0, 1, 2], &[0, 1], &[2], &[]]);
+        assert_eq!(subset_probability(&m, &[0]), 0.5);
+        assert_eq!(subset_probability(&m, &[0, 1]), 0.5);
+        assert_eq!(subset_probability(&m, &[0, 1, 2]), 0.25);
+        assert_eq!(subset_probability(&m, &[]), 1.0, "empty set is contained everywhere");
+        assert_eq!(subset_probability(&[], &[0]), 0.0);
+    }
+
+    #[test]
+    fn lattice_finds_all_qualifying_sets() {
+        // Object is NN at {0,1} in 60% of worlds, at {2} in 40%, at all three
+        // in 20%.
+        let m = masks(
+            3,
+            &[
+                &[0, 1, 2],
+                &[0, 1, 2],
+                &[0, 1],
+                &[0, 1],
+                &[0, 1],
+                &[0, 1],
+                &[2],
+                &[2],
+                &[],
+                &[],
+            ],
+        );
+        let result = apriori_timesets(&m, 3, &PcnnConfig::new(0.5));
+        let sets: Vec<Vec<usize>> = result.sets.iter().map(|(s, _)| s.clone()).collect();
+        assert!(sets.contains(&vec![0]));
+        assert!(sets.contains(&vec![1]));
+        assert!(sets.contains(&vec![0, 1]));
+        assert!(!sets.contains(&vec![2]), "{{2}} has probability 0.4 < 0.5");
+        assert!(!sets.contains(&vec![0, 1, 2]));
+        // Probabilities attached to the sets are the world fractions.
+        let p01 = result.sets.iter().find(|(s, _)| s == &vec![0, 1]).unwrap().1;
+        assert!((p01 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anti_monotonicity_prunes_supersets_without_evaluation() {
+        // Only timestamp 0 ever qualifies; the lattice must stop after level 1
+        // and evaluate exactly num_times candidate sets.
+        let m = masks(4, &[&[0], &[0], &[0], &[1]]);
+        let result = apriori_timesets(&m, 4, &PcnnConfig::new(0.5));
+        assert_eq!(result.sets.len(), 1);
+        assert_eq!(result.candidate_sets_evaluated, 4);
+    }
+
+    #[test]
+    fn low_threshold_reaches_the_full_set() {
+        let m = masks(3, &[&[0, 1, 2], &[0, 1, 2], &[0, 2]]);
+        let result = apriori_timesets(&m, 3, &PcnnConfig::new(0.1));
+        let sets: Vec<Vec<usize>> = result.sets.iter().map(|(s, _)| s.clone()).collect();
+        assert!(sets.contains(&vec![0, 1, 2]));
+        // All 7 non-empty subsets qualify at tau = 0.1.
+        assert_eq!(sets.len(), 7);
+    }
+
+    #[test]
+    fn maximal_only_removes_subsumed_sets() {
+        let m = masks(3, &[&[0, 1, 2], &[0, 1, 2], &[0, 1, 2]]);
+        let all = apriori_timesets(&m, 3, &PcnnConfig::new(0.5));
+        assert_eq!(all.sets.len(), 7);
+        let maximal = apriori_timesets(&m, 3, &PcnnConfig::maximal(0.5));
+        assert_eq!(maximal.sets.len(), 1);
+        assert_eq!(maximal.sets[0].0, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn qualifying_sets_need_not_be_contiguous() {
+        // NN at times 0 and 2 but never at 1: the qualifying pair is {0, 2}.
+        let m = masks(3, &[&[0, 2], &[0, 2], &[0, 1]]);
+        let result = apriori_timesets(&m, 3, &PcnnConfig::new(0.6));
+        let sets: Vec<Vec<usize>> = result.sets.iter().map(|(s, _)| s.clone()).collect();
+        assert!(sets.contains(&vec![0, 2]));
+        assert!(!sets.contains(&vec![0, 1]));
+    }
+
+    #[test]
+    fn empty_or_degenerate_inputs() {
+        let result = apriori_timesets(&[], 3, &PcnnConfig::new(0.5));
+        assert!(result.sets.is_empty());
+        let m = masks(1, &[&[0], &[]]);
+        let result = apriori_timesets(&m, 1, &PcnnConfig::new(0.5));
+        assert_eq!(result.sets.len(), 1);
+    }
+}

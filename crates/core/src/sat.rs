@@ -1,0 +1,330 @@
+//! The NP-hardness construction of Section 4.1: reducing k-SAT to P∃NN.
+//!
+//! Lemma 1 of the paper proves that computing `P∃NN(o, q, D, T)` is NP-hard by
+//! mapping a boolean formula in conjunctive normal form to a set of uncertain
+//! objects with time-inhomogeneous Markov chains:
+//!
+//! * every variable `x_i` becomes an uncertain object `o'_i` with exactly two
+//!   possible trajectories — one per truth value,
+//! * every clause `c_j` becomes the query timestamp `t = j`,
+//! * at time `j`, the trajectory of `o'_i` under assignment `a` is *closer* to
+//!   the query than the target object `o` iff the literal of `x_i` in `c_j`
+//!   evaluates to true under `a` (variables not occurring in `c_j` stay behind
+//!   `o`, mirroring the paper's `c_j ∨ (x_i ∧ ¬x_i)` padding),
+//! * consequently, the formula is satisfiable iff there exists a possible
+//!   world in which `o` is *never* the nearest neighbor, i.e. iff
+//!   `P∃NN(o, q, D, T) < 1`.
+//!
+//! This module implements the reduction faithfully (including the
+//! time-inhomogeneous chains) and uses it both as an executable artifact of
+//! the complexity analysis and as a stress test of the possible-worlds
+//! machinery: deciding satisfiability through the query engine must agree with
+//! brute-force SAT evaluation.
+
+use crate::exact::{exact_pnn, ExactError};
+use crate::query::Query;
+use crate::ObjectId;
+use std::sync::Arc;
+use ust_markov::{AdaptedModel, CsrMatrix, MarkovModel, StateId};
+use ust_spatial::{Point, StateSpace};
+
+/// A boolean formula in conjunctive normal form.
+///
+/// Literals use DIMACS conventions: literal `+i` is variable `i`, `-i` its
+/// negation; variables are numbered from `1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnfFormula {
+    num_vars: usize,
+    clauses: Vec<Vec<i32>>,
+}
+
+impl CnfFormula {
+    /// Creates a formula.
+    ///
+    /// # Panics
+    /// Panics if a literal references variable `0` or a variable larger than
+    /// `num_vars`, or if a clause is empty.
+    pub fn new(num_vars: usize, clauses: Vec<Vec<i32>>) -> Self {
+        for clause in &clauses {
+            assert!(!clause.is_empty(), "empty clauses are trivially unsatisfiable");
+            for &lit in clause {
+                let var = lit.unsigned_abs() as usize;
+                assert!(var >= 1 && var <= num_vars, "literal {lit} out of range");
+            }
+        }
+        CnfFormula { num_vars, clauses }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<i32>] {
+        &self.clauses
+    }
+
+    /// Evaluates the formula under an assignment (`assignment[i]` is the value
+    /// of variable `i + 1`).
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause.iter().any(|&lit| {
+                let value = assignment[(lit.unsigned_abs() - 1) as usize];
+                if lit > 0 {
+                    value
+                } else {
+                    !value
+                }
+            })
+        })
+    }
+
+    /// Brute-force satisfiability check (exponential; for testing only).
+    pub fn is_satisfiable_brute_force(&self) -> bool {
+        let n = self.num_vars;
+        (0..(1u64 << n)).any(|bits| {
+            let assignment: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            self.evaluate(&assignment)
+        })
+    }
+}
+
+/// State layout of the reduction (distances from the query at the origin).
+mod layout {
+    use super::StateId;
+    /// Closer than the target object (used by the `x_i = false` trajectory).
+    pub const S1: StateId = 0; // x = 1
+    /// Closer than the target object (used by the `x_i = true` trajectory).
+    pub const S2: StateId = 1; // x = 2
+    /// Farther than the target object (used by the `x_i = false` trajectory).
+    pub const S3: StateId = 2; // x = 4
+    /// Farther than the target object (used by the `x_i = true` trajectory).
+    pub const S4: StateId = 3; // x = 5
+    /// The (certain) position of the target object `o`.
+    pub const TARGET: StateId = 4; // x = 3
+    /// Shared start state at time 0 (before the first clause timestamp).
+    pub const START: StateId = 5; // x = 10
+    /// Shared rejoin state after the last clause timestamp.
+    pub const END: StateId = 6; // x = 10
+    /// Total number of states.
+    pub const COUNT: usize = 7;
+}
+
+/// The uncertain-trajectory instance produced by the reduction.
+#[derive(Debug, Clone)]
+pub struct SatReduction {
+    /// The shared state space (7 states on a line).
+    pub space: StateSpace,
+    /// The query: location at the origin, one timestamp per clause.
+    pub query: Query,
+    /// The adapted models of all objects: the target `o` (id 0) plus one
+    /// object per variable (ids `1..=num_vars`).
+    pub models: Vec<(ObjectId, Arc<AdaptedModel>)>,
+    /// The id of the target object `o`.
+    pub target: ObjectId,
+}
+
+/// Builds the reduction instance for a CNF formula.
+pub fn reduce_to_pnn(formula: &CnfFormula) -> SatReduction {
+    use layout::*;
+    let space = StateSpace::from_points(vec![
+        Point::new(1.0, 0.0),  // S1
+        Point::new(2.0, 0.0),  // S2
+        Point::new(4.0, 0.0),  // S3
+        Point::new(5.0, 0.0),  // S4
+        Point::new(3.0, 0.0),  // TARGET
+        Point::new(10.0, 0.0), // START
+        Point::new(10.0, 0.0), // END
+    ]);
+    let num_clauses = formula.clauses().len() as u32;
+    let query = Query::at_point(Point::new(0.0, 0.0), 1..=num_clauses)
+        .expect("at least one clause");
+
+    // The state a variable object occupies at clause timestamp `j`, per truth
+    // value: closer states (S2/S1) when the literal is satisfied, farther
+    // states (S4/S3) otherwise. Variables absent from the clause are farther.
+    let state_at = |var: usize, value: bool, clause: &[i32]| -> StateId {
+        let lit = clause.iter().find(|l| l.unsigned_abs() as usize == var + 1);
+        let satisfied = match lit {
+            Some(&l) => {
+                if l > 0 {
+                    value
+                } else {
+                    !value
+                }
+            }
+            None => false,
+        };
+        match (value, satisfied) {
+            (true, true) => S2,
+            (true, false) => S4,
+            (false, true) => S1,
+            (false, false) => S3,
+        }
+    };
+
+    let mut models: Vec<(ObjectId, Arc<AdaptedModel>)> = Vec::with_capacity(formula.num_vars() + 1);
+
+    // The target object o: pinned at TARGET for the whole interval.
+    let identity = MarkovModel::homogeneous(CsrMatrix::identity(COUNT));
+    let target_model = AdaptedModel::build(
+        &identity,
+        &[(0, TARGET), (num_clauses + 1, TARGET)],
+    )
+    .expect("identity chain is consistent");
+    models.push((0, Arc::new(target_model)));
+
+    // One time-inhomogeneous chain per variable.
+    for var in 0..formula.num_vars() {
+        let mut matrices: Vec<CsrMatrix> = Vec::with_capacity(num_clauses as usize + 1);
+        // t = 0 -> 1: branch into the two assignments with probability 0.5.
+        let first_true = state_at(var, true, &formula.clauses()[0]);
+        let first_false = state_at(var, false, &formula.clauses()[0]);
+        let mut rows = vec![Vec::new(); COUNT];
+        rows[START as usize] = if first_true == first_false {
+            vec![(first_true, 1.0)]
+        } else {
+            vec![(first_true, 0.5), (first_false, 0.5)]
+        };
+        fill_missing_with_self_loops(&mut rows);
+        matrices.push(CsrMatrix::from_rows(rows));
+        // t = j -> j + 1 for clauses j = 1..m-1: deterministic continuation of
+        // each branch (the branches never share a state, so this is well-defined).
+        for j in 1..num_clauses as usize {
+            let mut rows = vec![Vec::new(); COUNT];
+            let prev_true = state_at(var, true, &formula.clauses()[j - 1]);
+            let prev_false = state_at(var, false, &formula.clauses()[j - 1]);
+            let next_true = state_at(var, true, &formula.clauses()[j]);
+            let next_false = state_at(var, false, &formula.clauses()[j]);
+            rows[prev_true as usize] = vec![(next_true, 1.0)];
+            rows[prev_false as usize] = vec![(next_false, 1.0)];
+            fill_missing_with_self_loops(&mut rows);
+            matrices.push(CsrMatrix::from_rows(rows));
+        }
+        // t = m -> m + 1: both branches rejoin in END so that a final
+        // observation can pin the model without eliminating either branch.
+        let mut rows = vec![Vec::new(); COUNT];
+        let last_clause = &formula.clauses()[num_clauses as usize - 1];
+        rows[state_at(var, true, last_clause) as usize] = vec![(END, 1.0)];
+        rows[state_at(var, false, last_clause) as usize] = vec![(END, 1.0)];
+        fill_missing_with_self_loops(&mut rows);
+        matrices.push(CsrMatrix::from_rows(rows));
+
+        let chain = MarkovModel::time_varying(matrices);
+        let adapted = AdaptedModel::build(&chain, &[(0, START), (num_clauses + 1, END)])
+            .expect("both branches reach the rejoin state");
+        models.push((var as ObjectId + 1, Arc::new(adapted)));
+    }
+
+    SatReduction { space, query, models, target: 0 }
+}
+
+fn fill_missing_with_self_loops(rows: &mut [Vec<(StateId, f64)>]) {
+    for (i, row) in rows.iter_mut().enumerate() {
+        if row.is_empty() {
+            row.push((i as StateId, 1.0));
+        }
+    }
+}
+
+impl SatReduction {
+    /// Exact `P∃NN` of the target object, computed by possible-world
+    /// enumeration (exponential in the number of variables).
+    pub fn target_exists_probability(&self, limit: usize) -> Result<f64, ExactError> {
+        let result = exact_pnn(&self.models, &self.space, &self.query, limit)?;
+        Ok(result.exists_of(self.target))
+    }
+
+    /// Decides satisfiability of the original formula through the query
+    /// semantics: the formula is satisfiable iff `P∃NN(o) < 1`.
+    pub fn formula_is_satisfiable(&self, limit: usize) -> Result<bool, ExactError> {
+        Ok(self.target_exists_probability(limit)? < 1.0 - 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_construction_and_evaluation() {
+        let f = CnfFormula::new(3, vec![vec![1, -2], vec![2, 3], vec![-1, -3]]);
+        assert_eq!(f.num_vars(), 3);
+        assert!(f.evaluate(&[true, true, false]));
+        assert!(!f.evaluate(&[false, true, false]));
+        assert!(f.is_satisfiable_brute_force());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_literals_are_rejected() {
+        let _ = CnfFormula::new(1, vec![vec![2]]);
+    }
+
+    /// The example formula of Section 4.1:
+    /// E = (¬x1 ∨ x2 ∨ x3) ∧ (x2 ∨ ¬x3 ∨ x4) ∧ (x1 ∨ ¬x2).
+    #[test]
+    fn paper_example_formula_is_detected_as_satisfiable() {
+        let f = CnfFormula::new(4, vec![vec![-1, 2, 3], vec![2, -3, 4], vec![1, -2]]);
+        assert!(f.is_satisfiable_brute_force());
+        let reduction = reduce_to_pnn(&f);
+        assert_eq!(reduction.models.len(), 5, "target + four variable objects");
+        assert_eq!(reduction.query.len(), 3, "one timestamp per clause");
+        let p = reduction.target_exists_probability(1_000_000).unwrap();
+        assert!(p < 1.0, "satisfiable formula must leave a world where o is never the NN");
+        assert!(reduction.formula_is_satisfiable(1_000_000).unwrap());
+    }
+
+    #[test]
+    fn unsatisfiable_formula_forces_the_target_to_be_a_nearest_neighbor() {
+        // (x1) ∧ (¬x1): no assignment satisfies both clauses, so in every
+        // possible world there is a timestamp at which o1 is behind the target
+        // and no other object exists to beat it.
+        let f = CnfFormula::new(1, vec![vec![1], vec![-1]]);
+        assert!(!f.is_satisfiable_brute_force());
+        let reduction = reduce_to_pnn(&f);
+        let p = reduction.target_exists_probability(1_000_000).unwrap();
+        assert!((p - 1.0).abs() < 1e-12, "P∃NN(o) must be exactly 1, got {p}");
+        assert!(!reduction.formula_is_satisfiable(1_000_000).unwrap());
+    }
+
+    #[test]
+    fn satisfiability_via_pnn_matches_brute_force_on_small_formulas() {
+        let formulas = vec![
+            CnfFormula::new(2, vec![vec![1, 2], vec![-1, 2], vec![1, -2], vec![-1, -2]]), // unsat
+            CnfFormula::new(2, vec![vec![1, 2], vec![-1, 2], vec![1, -2]]),               // sat
+            CnfFormula::new(3, vec![vec![1], vec![-1, 2], vec![-2, 3]]),                  // sat
+            CnfFormula::new(3, vec![vec![1], vec![-1, 2], vec![-2, -1]]),                 // unsat
+            CnfFormula::new(1, vec![vec![1]]),                                            // sat
+        ];
+        for f in formulas {
+            let expected = f.is_satisfiable_brute_force();
+            let reduction = reduce_to_pnn(&f);
+            let got = reduction.formula_is_satisfiable(4_000_000).unwrap();
+            assert_eq!(got, expected, "reduction disagrees with brute force on {f:?}");
+        }
+    }
+
+    #[test]
+    fn variable_objects_have_exactly_two_possible_trajectories() {
+        let f = CnfFormula::new(2, vec![vec![1, 2], vec![-1, 2]]);
+        let reduction = reduce_to_pnn(&f);
+        for (id, model) in &reduction.models {
+            let trajectories =
+                crate::exact::enumerate_trajectories(model, 10_000).expect("small model");
+            if *id == reduction.target {
+                assert_eq!(trajectories.len(), 1, "the target object is certain");
+            } else {
+                assert_eq!(
+                    trajectories.len(),
+                    2,
+                    "variable object {id} must have one trajectory per truth value"
+                );
+                for (_, p) in trajectories {
+                    assert!((p - 0.5).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # ust-generator
+//!
+//! Workload generators reproducing the experimental setup of Section 7 of the
+//! paper.
+//!
+//! * [`grid`] — a uniform spatial hash used to find the neighbors of a state
+//!   within the connection radius.
+//! * [`network`] — spatial networks (state space + edges), shortest paths and
+//!   the derivation of a-priori Markov models (distance-weighted or learned
+//!   from trips).
+//! * [`synthetic`] — the *artificial data* generator: `N` states uniformly in
+//!   `[0,1]²`, edges between states closer than `r = sqrt(b / (N π))`,
+//!   transition probabilities inversely proportional to distance.
+//! * [`objects`] — uncertain object generation: shortest-path motion, the lag
+//!   parameter `v`, observations every `i` tics and the held-back ground
+//!   truth used for effectiveness experiments.
+//! * [`road_network`] — the *simulated taxi data* substitute for the paper's
+//!   map-matched Beijing T-Drive dataset (see DESIGN.md §4 for the
+//!   substitution rationale): a jittered city grid, a transition matrix
+//!   learned from training trips, center-biased trips and standing taxis.
+//! * [`workload`] — datasets (database + ground truth) and query generators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod network;
+pub mod objects;
+pub mod road_network;
+pub mod synthetic;
+pub mod workload;
+
+pub use network::Network;
+pub use objects::{GeneratedObject, ObjectWorkloadConfig};
+pub use road_network::{RoadNetworkConfig, TaxiWorkloadConfig};
+pub use synthetic::SyntheticNetworkConfig;
+pub use workload::{Dataset, QueryWorkload, QueryWorkloadConfig};
+
+pub use ust_markov::Timestamp;
+pub use ust_spatial::StateId;

@@ -1,0 +1,124 @@
+//! The artificial-data generator of Section 7.
+//!
+//! "Artificial data for our experiments was created in three steps: state
+//! space generation, transition matrix construction and object creation.
+//! First, the data generator constructs a two-dimensional Euclidean state
+//! space, consisting of N states. Each of these states is drawn uniformly
+//! from the [0, 1]² square. In order to construct a transition matrix, we
+//! derive a graph by introducing edges between any point p and its neighbors
+//! having a distance less than r = sqrt(b / (n·π)) with b denoting the average
+//! branching factor of the underlying network. [...] The transition
+//! probability of this entry is indirectly proportional to the distance
+//! between the two vertices."
+//!
+//! Object creation (shortest-path motion, observation thinning, the lag
+//! parameter `v`) lives in [`crate::objects`].
+
+use crate::grid::GridIndex;
+use crate::network::Network;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use ust_spatial::{Point, StateId, StateSpace};
+
+/// Configuration of the synthetic state-space/network generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticNetworkConfig {
+    /// Number of states `N = |S|` (paper default: 100 000).
+    pub num_states: usize,
+    /// Average branching factor `b` of the network (paper default: 8).
+    pub branching_factor: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for SyntheticNetworkConfig {
+    fn default() -> Self {
+        SyntheticNetworkConfig { num_states: 10_000, branching_factor: 8.0, seed: 0 }
+    }
+}
+
+impl SyntheticNetworkConfig {
+    /// The connection radius `r = sqrt(b / (N π))` that yields the requested
+    /// average branching factor for uniformly distributed states.
+    pub fn connection_radius(&self) -> f64 {
+        (self.branching_factor / (self.num_states as f64 * std::f64::consts::PI)).sqrt()
+    }
+
+    /// Generates the network.
+    pub fn generate(&self) -> Network {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let points: Vec<Point> = (0..self.num_states)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let radius = self.connection_radius();
+        let grid = GridIndex::build(&points, radius.max(1e-9));
+        let mut edges: Vec<(StateId, StateId)> = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            let id = i as StateId;
+            for n in grid.within_radius(&points, p, radius, Some(id)) {
+                if n > id {
+                    edges.push((id, n));
+                }
+            }
+        }
+        let space = Arc::new(StateSpace::from_points(points));
+        Network::new(space, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radius_formula_matches_paper() {
+        let cfg = SyntheticNetworkConfig { num_states: 10_000, branching_factor: 8.0, seed: 1 };
+        let r = cfg.connection_radius();
+        assert!((r - (8.0 / (10_000.0 * std::f64::consts::PI)).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn generated_network_has_requested_size_and_roughly_the_branching_factor() {
+        let cfg = SyntheticNetworkConfig { num_states: 2_000, branching_factor: 8.0, seed: 42 };
+        let net = cfg.generate();
+        assert_eq!(net.num_states(), 2_000);
+        let degree = net.average_degree();
+        // Boundary effects push the realised degree slightly below b.
+        assert!(
+            degree > 5.0 && degree < 10.0,
+            "average degree {degree} too far from requested branching factor 8"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let cfg = SyntheticNetworkConfig { num_states: 500, branching_factor: 6.0, seed: 7 };
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.position(17), b.position(17));
+        let c = SyntheticNetworkConfig { seed: 8, ..cfg }.generate();
+        // Different seed gives (almost surely) different geometry.
+        assert_ne!(a.position(17), c.position(17));
+    }
+
+    #[test]
+    fn higher_branching_factor_adds_edges() {
+        let lo = SyntheticNetworkConfig { num_states: 1_000, branching_factor: 6.0, seed: 3 }
+            .generate();
+        let hi = SyntheticNetworkConfig { num_states: 1_000, branching_factor: 10.0, seed: 3 }
+            .generate();
+        assert!(hi.num_edges() > lo.num_edges());
+    }
+
+    #[test]
+    fn states_lie_in_the_unit_square() {
+        let net = SyntheticNetworkConfig { num_states: 300, branching_factor: 8.0, seed: 5 }
+            .generate();
+        for (_, p) in net.space().iter() {
+            assert!((0.0..=1.0).contains(&p.x));
+            assert!((0.0..=1.0).contains(&p.y));
+        }
+    }
+}

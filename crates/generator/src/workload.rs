@@ -1,0 +1,257 @@
+//! Datasets and query workloads.
+//!
+//! A [`Dataset`] bundles everything the query engine needs (network, database,
+//! shared model) together with the per-object ground truth used by the
+//! effectiveness experiments. [`QueryWorkload`] generates the query states and
+//! query time intervals of Section 7: "Our experiments concentrate on
+//! evaluating nearest neighbor queries given a certain query state. These
+//! states were uniformly drawn from the underlying state space."
+
+use crate::network::Network;
+use crate::objects::{generate_objects, ObjectWorkloadConfig};
+use crate::road_network::{generate_taxi_dataset, RoadNetworkConfig, TaxiWorkloadConfig};
+use crate::synthetic::SyntheticNetworkConfig;
+use crate::Timestamp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+use ust_spatial::Point;
+use ust_trajectory::{ObjectId, Trajectory, TrajectoryDatabase};
+
+/// A fully materialised experimental dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The underlying spatial network.
+    pub network: Network,
+    /// The uncertain trajectory database (observations only).
+    pub database: TrajectoryDatabase,
+    /// Ground-truth trajectories, keyed by object id. These are *not* visible
+    /// to the query engine; they exist to measure model effectiveness
+    /// (Figure 12) in leave-one-out fashion.
+    pub ground_truth: FxHashMap<ObjectId, Trajectory>,
+}
+
+impl Dataset {
+    /// Builds the synthetic dataset of Section 7 ("Artificial Data"): a
+    /// uniform random network, a distance-weighted shared Markov model (with
+    /// the given self-loop weight to permit lag), and shortest-path objects.
+    pub fn synthetic(
+        net_cfg: &SyntheticNetworkConfig,
+        obj_cfg: &ObjectWorkloadConfig,
+        self_loop_weight: f64,
+    ) -> Dataset {
+        let network = net_cfg.generate();
+        let model = Arc::new(network.distance_weighted_model(self_loop_weight));
+        let generated = generate_objects(&network, obj_cfg, 0);
+        let mut ground_truth = FxHashMap::default();
+        let mut objects = Vec::with_capacity(generated.len());
+        for g in generated {
+            ground_truth.insert(g.object.id(), g.ground_truth);
+            objects.push(g.object);
+        }
+        let database =
+            TrajectoryDatabase::with_objects(network.space().clone(), model, objects);
+        Dataset { network, database, ground_truth }
+    }
+
+    /// Builds the simulated taxi dataset (the substitute for the paper's
+    /// Beijing T-Drive setup — see DESIGN.md §4).
+    pub fn taxi(road_cfg: &RoadNetworkConfig, taxi_cfg: &TaxiWorkloadConfig) -> Dataset {
+        let taxi = generate_taxi_dataset(road_cfg, taxi_cfg);
+        let mut ground_truth = FxHashMap::default();
+        let mut objects = Vec::with_capacity(taxi.objects.len());
+        for g in taxi.objects {
+            ground_truth.insert(g.object.id(), g.ground_truth);
+            objects.push(g.object);
+        }
+        let database = TrajectoryDatabase::with_objects(
+            taxi.network.space().clone(),
+            taxi.model,
+            objects,
+        );
+        Dataset { network: taxi.network, database, ground_truth }
+    }
+
+    /// The ground-truth trajectory of an object.
+    pub fn ground_truth_of(&self, id: ObjectId) -> Option<&Trajectory> {
+        self.ground_truth.get(&id)
+    }
+}
+
+/// Configuration of a query workload.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryWorkloadConfig {
+    /// Number of queries to generate.
+    pub num_queries: usize,
+    /// Length of the query time interval `|T|` (paper default: 10).
+    pub interval_length: u32,
+    /// Database time horizon the query intervals are drawn from.
+    pub horizon: Timestamp,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryWorkloadConfig {
+    fn default() -> Self {
+        QueryWorkloadConfig { num_queries: 10, interval_length: 10, horizon: 1_000, seed: 0 }
+    }
+}
+
+/// One generated query: a certain query state (location) and a contiguous
+/// set of query timestamps.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// The (certain) query location.
+    pub location: Point,
+    /// The query timestamps, contiguous and ascending.
+    pub times: Vec<Timestamp>,
+}
+
+/// A collection of generated queries.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    /// The generated queries.
+    pub queries: Vec<QuerySpec>,
+}
+
+impl QueryWorkload {
+    /// Generates `cfg.num_queries` queries whose locations are uniformly drawn
+    /// states of the network and whose time intervals lie inside the horizon.
+    pub fn generate(network: &Network, cfg: &QueryWorkloadConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = network.num_states() as u32;
+        let queries = (0..cfg.num_queries)
+            .map(|_| {
+                let state = rng.gen_range(0..n);
+                let location = network.position(state);
+                let max_start = cfg.horizon.saturating_sub(cfg.interval_length.max(1) - 1);
+                let start: Timestamp = if max_start > 0 { rng.gen_range(0..max_start) } else { 0 };
+                let times: Vec<Timestamp> =
+                    (0..cfg.interval_length.max(1)).map(|k| start + k).collect();
+                QuerySpec { location, times }
+            })
+            .collect();
+        QueryWorkload { queries }
+    }
+
+    /// Generates queries whose time interval is guaranteed to be covered by at
+    /// least `min_covering` database objects (so that the query is not
+    /// trivially empty). Falls back to the plain generator if the requirement
+    /// cannot be met within a bounded number of attempts.
+    pub fn generate_covered(
+        network: &Network,
+        database: &TrajectoryDatabase,
+        cfg: &QueryWorkloadConfig,
+        min_covering: usize,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = network.num_states() as u32;
+        let mut queries = Vec::with_capacity(cfg.num_queries);
+        for _ in 0..cfg.num_queries {
+            let mut chosen: Option<QuerySpec> = None;
+            for _ in 0..64 {
+                let state = rng.gen_range(0..n);
+                let location = network.position(state);
+                let max_start = cfg.horizon.saturating_sub(cfg.interval_length.max(1) - 1);
+                let start: Timestamp = if max_start > 0 { rng.gen_range(0..max_start) } else { 0 };
+                let end = start + cfg.interval_length.max(1) - 1;
+                if database.objects_covering(start, end).len() >= min_covering {
+                    let times = (start..=end).collect();
+                    chosen = Some(QuerySpec { location, times });
+                    break;
+                }
+            }
+            queries.push(chosen.unwrap_or_else(|| {
+                let state = rng.gen_range(0..n);
+                let start = 0;
+                QuerySpec {
+                    location: network.position(state),
+                    times: (start..start + cfg.interval_length.max(1)).collect(),
+                }
+            }));
+        }
+        QueryWorkload { queries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dataset() -> Dataset {
+        Dataset::synthetic(
+            &SyntheticNetworkConfig { num_states: 400, branching_factor: 8.0, seed: 5 },
+            &ObjectWorkloadConfig {
+                num_objects: 30,
+                lifetime: 30,
+                horizon: 100,
+                observation_interval: 5,
+                lag: 0.6,
+                standing_fraction: 0.0,
+                seed: 6,
+            },
+            1.0,
+        )
+    }
+
+    #[test]
+    fn synthetic_dataset_is_consistent() {
+        let ds = small_dataset();
+        assert_eq!(ds.database.len(), 30);
+        assert_eq!(ds.ground_truth.len(), 30);
+        for o in ds.database.objects() {
+            let gt = ds.ground_truth_of(o.id()).expect("ground truth exists");
+            assert!(gt.consistent_with(&o.observation_pairs()));
+        }
+        assert!(ds.database.shared_model().is_valid());
+    }
+
+    #[test]
+    fn taxi_dataset_builds() {
+        let ds = Dataset::taxi(
+            &RoadNetworkConfig { grid_width: 15, grid_height: 15, ..Default::default() },
+            &TaxiWorkloadConfig {
+                num_objects: 20,
+                lifetime: 24,
+                horizon: 100,
+                training_trips: 100,
+                ..Default::default()
+            },
+        );
+        assert_eq!(ds.database.len(), 20);
+        assert_eq!(ds.network.num_states(), 225);
+    }
+
+    #[test]
+    fn query_workload_respects_config() {
+        let ds = small_dataset();
+        let cfg = QueryWorkloadConfig { num_queries: 25, interval_length: 7, horizon: 100, seed: 9 };
+        let wl = QueryWorkload::generate(&ds.network, &cfg);
+        assert_eq!(wl.queries.len(), 25);
+        for q in &wl.queries {
+            assert_eq!(q.times.len(), 7);
+            assert!(q.times.windows(2).all(|w| w[1] == w[0] + 1));
+            assert!(*q.times.last().unwrap() < 100 + 7);
+            assert!((0.0..=1.0).contains(&q.location.x));
+        }
+        // Deterministic in the seed.
+        let wl2 = QueryWorkload::generate(&ds.network, &cfg);
+        assert_eq!(wl.queries[0].times, wl2.queries[0].times);
+    }
+
+    #[test]
+    fn covered_query_workload_hits_populated_intervals() {
+        let ds = small_dataset();
+        let cfg = QueryWorkloadConfig { num_queries: 10, interval_length: 5, horizon: 100, seed: 1 };
+        let wl = QueryWorkload::generate_covered(&ds.network, &ds.database, &cfg, 3);
+        for q in &wl.queries {
+            let from = q.times[0];
+            let to = *q.times.last().unwrap();
+            assert!(
+                ds.database.objects_covering(from, to).len() >= 3,
+                "query interval [{from}, {to}] is not covered by 3 objects"
+            );
+        }
+    }
+}

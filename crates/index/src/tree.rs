@@ -1,0 +1,351 @@
+//! The UST-tree: diamond approximations indexed in an R\*-tree.
+
+use crate::diamond::Diamond;
+use crate::pruning::{BoundsTable, PruningResult};
+use crate::Timestamp;
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+use ust_markov::reachability::ReachabilityIndex;
+use ust_markov::MarkovModel;
+use ust_spatial::{Point, RTree, Rect3};
+use ust_trajectory::TrajectoryDatabase;
+
+/// Build-time configuration of the UST-tree.
+#[derive(Debug, Clone, Copy)]
+pub struct UstTreeConfig {
+    /// Keep per-timestamp MBRs inside each diamond for tighter pruning bounds
+    /// (the dashed rectangles of Figure 5). Costs memory proportional to the
+    /// total number of covered timestamps.
+    pub per_timestamp_mbrs: bool,
+    /// Node capacity of the underlying R\*-tree.
+    pub rtree_capacity: usize,
+}
+
+impl Default for UstTreeConfig {
+    fn default() -> Self {
+        UstTreeConfig { per_timestamp_mbrs: true, rtree_capacity: 32 }
+    }
+}
+
+/// The UST-tree over a trajectory database.
+#[derive(Debug)]
+pub struct UstTree {
+    diamonds: Vec<Diamond>,
+    rtree: RTree<3, usize>,
+    num_objects: usize,
+}
+
+impl UstTree {
+    /// Builds the index over all objects of the database with default
+    /// configuration.
+    pub fn build(db: &TrajectoryDatabase) -> Self {
+        Self::build_with(db, &UstTreeConfig::default())
+    }
+
+    /// Builds the index with an explicit configuration.
+    pub fn build_with(db: &TrajectoryDatabase, cfg: &UstTreeConfig) -> Self {
+        // Reachability indexes are derived from a-priori models; objects
+        // sharing a model (the common case) share the reachability index.
+        let mut reach_cache: FxHashMap<usize, Arc<ReachabilityIndex>> = FxHashMap::default();
+        let mut reach_for = |model: &Arc<MarkovModel>| -> Arc<ReachabilityIndex> {
+            let key = Arc::as_ptr(model) as usize;
+            reach_cache
+                .entry(key)
+                .or_insert_with(|| {
+                    Arc::new(ReachabilityIndex::from_matrix(model.matrix_at(0)))
+                })
+                .clone()
+        };
+
+        let space = db.state_space();
+        let mut diamonds: Vec<Diamond> = Vec::new();
+        for object in db.objects() {
+            let reach = reach_for(db.model_for(object.id()));
+            if object.num_observations() == 1 {
+                // Degenerate segment: the object exists only at its single
+                // observation instant.
+                let obs = object.observations()[0];
+                let sets = reach.segment((obs.time, obs.state), (obs.time, obs.state));
+                if let Some(d) = Diamond::from_reachability(
+                    object.id(),
+                    &sets,
+                    space,
+                    cfg.per_timestamp_mbrs,
+                ) {
+                    diamonds.push(d);
+                }
+                continue;
+            }
+            for (from, to) in object.segments() {
+                let sets = reach.segment((from.time, from.state), (to.time, to.state));
+                if let Some(d) = Diamond::from_reachability(
+                    object.id(),
+                    &sets,
+                    space,
+                    cfg.per_timestamp_mbrs,
+                ) {
+                    diamonds.push(d);
+                }
+            }
+        }
+
+        let items: Vec<(Rect3, usize)> = diamonds
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.space_time_box(), i))
+            .collect();
+        let rtree = RTree::bulk_load_with_capacity(items, cfg.rtree_capacity);
+        UstTree { diamonds, rtree, num_objects: db.len() }
+    }
+
+    /// Number of indexed diamonds (one per observation segment).
+    pub fn num_diamonds(&self) -> usize {
+        self.diamonds.len()
+    }
+
+    /// Number of objects of the database the index was built over.
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// All diamonds (for diagnostics and tests).
+    pub fn diamonds(&self) -> &[Diamond] {
+        &self.diamonds
+    }
+
+    /// Diamonds whose time interval overlaps `[t_from, t_to]`.
+    pub fn diamonds_overlapping(&self, t_from: Timestamp, t_to: Timestamp) -> Vec<&Diamond> {
+        let query = Rect3::new(
+            [f64::NEG_INFINITY, f64::NEG_INFINITY, t_from as f64],
+            [f64::INFINITY, f64::INFINITY, t_to as f64],
+        );
+        self.rtree
+            .query_intersecting(&query)
+            .into_iter()
+            .map(|&i| &self.diamonds[i])
+            .collect()
+    }
+
+    /// Runs the filter step of Section 6 for a query given by per-timestamp
+    /// positions: returns the ∀-candidates, the influence objects and the
+    /// per-timestamp pruning distances.
+    ///
+    /// `query_pos(t)` must be defined for every `t` in `times`.
+    pub fn prune(
+        &self,
+        times: &[Timestamp],
+        query_pos: impl Fn(Timestamp) -> Point,
+    ) -> PruningResult {
+        self.prune_knn(times, query_pos, 1)
+    }
+
+    /// The filter step for k-NN queries: the pruning distance at every
+    /// timestamp is the k-th smallest `dmax` over all alive objects.
+    pub fn prune_knn(
+        &self,
+        times: &[Timestamp],
+        query_pos: impl Fn(Timestamp) -> Point,
+        k: usize,
+    ) -> PruningResult {
+        if times.is_empty() {
+            return PruningResult {
+                times: Vec::new(),
+                candidates: Vec::new(),
+                influencers: Vec::new(),
+                prune_distances: Vec::new(),
+            };
+        }
+        let t_from = *times.first().expect("non-empty");
+        let t_to = *times.last().expect("non-empty");
+        let positions: Vec<Point> = times.iter().map(|&t| query_pos(t)).collect();
+        let mut table = BoundsTable::new(times.len());
+        for diamond in self.diamonds_overlapping(t_from, t_to) {
+            for (i, &t) in times.iter().enumerate() {
+                if let (Some(dmin), Some(dmax)) =
+                    (diamond.dmin(t, &positions[i]), diamond.dmax(t, &positions[i]))
+                {
+                    table.record(diamond.object, i, dmin, dmax);
+                }
+            }
+        }
+        table.evaluate_knn(times, k)
+    }
+
+    /// Convenience wrapper for a static (constant-location) query point.
+    pub fn prune_point(&self, times: &[Timestamp], q: Point) -> PruningResult {
+        self.prune(times, |_| q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObjectId;
+    use ust_markov::CsrMatrix;
+    use ust_spatial::StateSpace;
+    use ust_trajectory::UncertainObject;
+
+    /// Database over a 1-d line of 10 states at x = 0..9 where objects can
+    /// stay or move one step left/right per tic.
+    fn line_db(objects: Vec<UncertainObject>) -> TrajectoryDatabase {
+        let n = 10usize;
+        let space = Arc::new(StateSpace::from_points(
+            (0..n).map(|i| Point::new(i as f64, 0.0)).collect(),
+        ));
+        let rows = (0..n as i64)
+            .map(|i| {
+                let mut row = vec![(i as u32, 1.0)];
+                if i > 0 {
+                    row.push((i as u32 - 1, 1.0));
+                }
+                if (i as usize) < n - 1 {
+                    row.push((i as u32 + 1, 1.0));
+                }
+                row
+            })
+            .collect();
+        let model = Arc::new(MarkovModel::homogeneous(CsrMatrix::stochastic_from_weights(rows)));
+        TrajectoryDatabase::with_objects(space, model, objects)
+    }
+
+    fn example_db() -> TrajectoryDatabase {
+        line_db(vec![
+            // Object 1 hovers around x=1.
+            UncertainObject::from_pairs(1, vec![(0, 1), (4, 1), (8, 1)]).unwrap(),
+            // Object 2 hovers around x=5.
+            UncertainObject::from_pairs(2, vec![(0, 5), (4, 5), (8, 5)]).unwrap(),
+            // Object 3 sits far away at x=9.
+            UncertainObject::from_pairs(3, vec![(0, 9), (4, 9), (8, 9)]).unwrap(),
+            // Object 4 only exists late (t in [6, 8]) near x=0.
+            UncertainObject::from_pairs(4, vec![(6, 0), (8, 0)]).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn build_creates_one_diamond_per_segment() {
+        let db = example_db();
+        let tree = UstTree::build(&db);
+        // Objects 1-3 have 2 segments each, object 4 has 1.
+        assert_eq!(tree.num_diamonds(), 7);
+        assert_eq!(tree.num_objects(), 4);
+    }
+
+    #[test]
+    fn diamonds_overlapping_respects_time() {
+        let db = example_db();
+        let tree = UstTree::build(&db);
+        let early: Vec<ObjectId> =
+            tree.diamonds_overlapping(0, 3).iter().map(|d| d.object).collect();
+        assert!(!early.contains(&4), "object 4 does not exist before t=6");
+        let late: Vec<ObjectId> =
+            tree.diamonds_overlapping(6, 8).iter().map(|d| d.object).collect();
+        assert!(late.contains(&4));
+    }
+
+    #[test]
+    fn pruning_near_object_one() {
+        let db = example_db();
+        let tree = UstTree::build(&db);
+        // Query at x=1 over t in [1,3]: object 1 is the only candidate; object
+        // 2 can drift at most 3 to x=2 > dmax(o1) bounds? o1 dmax <= 1+3=4,
+        // o2 dmin >= 5-3=2 ... both may overlap; the important checks are that
+        // the far object 3 is pruned and object 1 is a candidate.
+        let result = tree.prune_point(&[1, 2, 3], Point::new(1.0, 0.0));
+        assert!(result.is_candidate(1));
+        assert!(!result.is_influencer(3), "object 3 can never be within reach");
+        assert!(!result.is_candidate(4), "object 4 does not exist in the interval");
+        assert!(result.num_candidates() <= result.num_influencers());
+    }
+
+    #[test]
+    fn pruning_includes_late_object_only_when_alive() {
+        let db = example_db();
+        let tree = UstTree::build(&db);
+        let q = Point::new(0.0, 0.0);
+        // Interval [6,8]: object 4 sits exactly at the query, object 1 nearby.
+        let result = tree.prune_point(&[6, 7, 8], q);
+        assert!(result.is_candidate(4));
+        assert!(result.is_influencer(1));
+        // Interval [2,3]: object 4 is not alive and must not appear at all.
+        let result = tree.prune_point(&[2, 3], q);
+        assert!(!result.is_influencer(4));
+        assert!(result.is_candidate(1));
+    }
+
+    #[test]
+    fn pruning_never_discards_true_candidates_vs_bruteforce() {
+        // Compare against a brute-force bound computation over the reachable
+        // sets (ground truth for the filter step).
+        let db = example_db();
+        let tree = UstTree::build(&db);
+        let times: Vec<Timestamp> = vec![1, 2, 3, 4, 5];
+        let q = Point::new(4.0, 0.0);
+        let result = tree.prune(&times, |_| q);
+
+        // Brute force: per object per time min/max distance over reachable states.
+        let reach = ReachabilityIndex::from_matrix(db.shared_model().matrix_at(0));
+        let space = db.state_space();
+        let mut table = BoundsTable::new(times.len());
+        for o in db.objects() {
+            for (a, b) in o.segments() {
+                let sets = reach.segment((a.time, a.state), (b.time, b.state));
+                for (i, &t) in times.iter().enumerate() {
+                    let states = sets.at(t);
+                    if states.is_empty() {
+                        continue;
+                    }
+                    let dmin = states
+                        .iter()
+                        .map(|&s| space.position(s).dist(&q))
+                        .fold(f64::INFINITY, f64::min);
+                    let dmax = states
+                        .iter()
+                        .map(|&s| space.position(s).dist(&q))
+                        .fold(0.0f64, f64::max);
+                    table.record(o.id(), i, dmin, dmax);
+                }
+            }
+        }
+        let brute = table.evaluate(&times);
+        // The UST-tree bounds are exactly the MBR-based bounds over the same
+        // reachable sets, so the classifications must agree on this instance.
+        assert_eq!(result.candidates, brute.candidates);
+        assert_eq!(result.influencers, brute.influencers);
+    }
+
+    #[test]
+    fn knn_pruning_keeps_more_objects_than_nn_pruning() {
+        let db = example_db();
+        let tree = UstTree::build(&db);
+        let q = Point::new(1.0, 0.0);
+        let times: Vec<Timestamp> = vec![1, 2, 3];
+        let k1 = tree.prune_knn(&times, |_| q, 1);
+        let k3 = tree.prune_knn(&times, |_| q, 3);
+        assert!(k3.num_candidates() >= k1.num_candidates());
+        assert!(k3.num_influencers() >= k1.num_influencers());
+        // With k equal to the number of alive objects, every alive object is
+        // a candidate.
+        assert!(k3.is_candidate(1) && k3.is_candidate(2) && k3.is_candidate(3));
+    }
+
+    #[test]
+    fn empty_time_set_returns_empty_result() {
+        let db = example_db();
+        let tree = UstTree::build(&db);
+        let result = tree.prune_point(&[], Point::new(0.0, 0.0));
+        assert!(result.candidates.is_empty());
+        assert!(result.influencers.is_empty());
+    }
+
+    #[test]
+    fn single_observation_objects_are_indexed() {
+        let db = line_db(vec![
+            UncertainObject::from_pairs(1, vec![(5, 3)]).unwrap(),
+            UncertainObject::from_pairs(2, vec![(0, 9), (9, 9)]).unwrap(),
+        ]);
+        let tree = UstTree::build(&db);
+        assert_eq!(tree.num_diamonds(), 2);
+        let result = tree.prune_point(&[5], Point::new(3.0, 0.0));
+        assert!(result.is_candidate(1));
+    }
+}

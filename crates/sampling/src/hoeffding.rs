@@ -1,0 +1,88 @@
+//! Hoeffding bounds for the Monte-Carlo estimates.
+//!
+//! The event "object `o` is a (∀/∃) nearest neighbor of `q`" is a Bernoulli
+//! random variable per sampled world; its probability is estimated by the
+//! sample mean. Hoeffding's inequality ([29] in the paper) bounds the
+//! estimation error: with `n` samples,
+//!
+//! ```text
+//! P(|p̂ - p| ≥ ε) ≤ 2 · exp(-2 n ε²)
+//! ```
+//!
+//! so `n ≥ ln(2/δ) / (2 ε²)` samples guarantee an absolute error below `ε`
+//! with confidence `1 - δ`.
+
+/// Number of samples needed so that the estimate deviates from the true
+/// probability by at most `epsilon` with probability at least `1 - delta`.
+///
+/// # Panics
+/// Panics if `epsilon` or `delta` are not in `(0, 1)`.
+pub fn required_samples(epsilon: f64, delta: f64) -> usize {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    ((2.0f64 / delta).ln() / (2.0 * epsilon * epsilon)).ceil() as usize
+}
+
+/// The half-width `ε` of the two-sided confidence interval achievable with `n`
+/// samples at confidence `1 - delta`.
+///
+/// # Panics
+/// Panics if `n == 0` or `delta` is not in `(0, 1)`.
+pub fn confidence_radius(n: usize, delta: f64) -> f64 {
+    assert!(n > 0, "need at least one sample");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    ((2.0f64 / delta).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// Clamped confidence interval `[p̂ - ε, p̂ + ε]` for an estimate `p_hat` from
+/// `n` samples at confidence `1 - delta`.
+pub fn confidence_interval(p_hat: f64, n: usize, delta: f64) -> (f64, f64) {
+    let eps = confidence_radius(n, delta);
+    ((p_hat - eps).max(0.0), (p_hat + eps).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_size_formula() {
+        // Classic textbook value: eps = 0.01, delta = 0.05 -> ~18445 samples.
+        let n = required_samples(0.01, 0.05);
+        assert!((18_400..=18_500).contains(&n), "n = {n}");
+        // The paper's default of 10k samples per object gives eps ~ 0.0136 at 95%.
+        let eps = confidence_radius(10_000, 0.05);
+        assert!((0.0135..0.0137).contains(&eps), "eps = {eps}");
+    }
+
+    #[test]
+    fn more_samples_tighten_the_interval() {
+        assert!(confidence_radius(1_000, 0.05) > confidence_radius(10_000, 0.05));
+        assert!(required_samples(0.005, 0.05) > required_samples(0.01, 0.05));
+        assert!(required_samples(0.01, 0.01) > required_samples(0.01, 0.1));
+    }
+
+    #[test]
+    fn interval_is_clamped_to_probabilities() {
+        let (lo, hi) = confidence_interval(0.001, 100, 0.05);
+        assert_eq!(lo, 0.0);
+        assert!(hi <= 1.0);
+        let (lo, hi) = confidence_interval(0.999, 100, 0.05);
+        assert!(lo >= 0.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn roundtrip_consistency() {
+        let eps = 0.02;
+        let delta = 0.05;
+        let n = required_samples(eps, delta);
+        assert!(confidence_radius(n, delta) <= eps + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn invalid_epsilon_panics() {
+        required_samples(0.0, 0.05);
+    }
+}

@@ -1,0 +1,261 @@
+//! Traditional (rejection-based) trajectory sampling — the baselines of
+//! Section 5.1 and Figure 10.
+//!
+//! * **TS1** ([`RejectionSampler`]): simulate the a-priori chain forward from
+//!   the first observation; a draw is valid only if it happens to pass through
+//!   every later observation. The expected number of attempts per valid
+//!   sample grows exponentially in the number of observations.
+//! * **TS2** ([`SegmentedSampler`]): "This approach can be improved by
+//!   segment-wise sampling between observations. Once the first observation
+//!   is hit, the corresponding trajectory is memorized, and further samples
+//!   from the current observation are drawn until the next observation is
+//!   hit." The expected attempt count becomes linear in the number of
+//!   observations, but each segment still requires many attempts.
+//!
+//! Both samplers exist to quantify the benefit of the a-posteriori sampler
+//! (one attempt per sample, [`crate::posterior::PosteriorSampler`]); they are
+//! not used by the query engine.
+
+use crate::sample_weighted;
+use rand::Rng;
+use ust_markov::{StateId, Timestamp, TransitionModel};
+use ust_trajectory::Trajectory;
+
+/// Outcome of a rejection-sampling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RejectionOutcome {
+    /// Number of trajectory generations attempted (including the successful
+    /// one, if any).
+    pub attempts: u64,
+    /// The valid trajectory, or `None` if the attempt budget was exhausted.
+    pub trajectory: Option<Trajectory>,
+}
+
+impl RejectionOutcome {
+    /// Whether a valid trajectory was produced.
+    pub fn succeeded(&self) -> bool {
+        self.trajectory.is_some()
+    }
+}
+
+/// TS1: full-trajectory rejection sampling against the a-priori model.
+#[derive(Debug, Clone)]
+pub struct RejectionSampler<'a, M> {
+    model: &'a M,
+    observations: &'a [(Timestamp, StateId)],
+}
+
+impl<'a, M: TransitionModel> RejectionSampler<'a, M> {
+    /// Creates a sampler for the given a-priori model and observation set
+    /// (sorted by time).
+    pub fn new(model: &'a M, observations: &'a [(Timestamp, StateId)]) -> Self {
+        assert!(!observations.is_empty(), "need at least one observation");
+        RejectionSampler { model, observations }
+    }
+
+    /// Attempts to draw one valid trajectory, giving up after `max_attempts`.
+    pub fn sample_one<R: Rng>(&self, rng: &mut R, max_attempts: u64) -> RejectionOutcome {
+        let start = self.observations[0].0;
+        let end = self.observations[self.observations.len() - 1].0;
+        for attempt in 1..=max_attempts {
+            if let Some(states) = self.try_draw(rng, start, end) {
+                return RejectionOutcome {
+                    attempts: attempt,
+                    trajectory: Some(Trajectory::new(start, states)),
+                };
+            }
+        }
+        RejectionOutcome { attempts: max_attempts, trajectory: None }
+    }
+
+    /// One forward simulation; returns the state sequence if it is consistent
+    /// with all observations. The simulation aborts at the first violated
+    /// observation (which only reduces the counted work, not the number of
+    /// attempts).
+    fn try_draw<R: Rng>(
+        &self,
+        rng: &mut R,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Option<Vec<StateId>> {
+        let mut states = Vec::with_capacity((end - start) as usize + 1);
+        let mut current = self.observations[0].1;
+        states.push(current);
+        let mut obs_idx = 1usize;
+        for t in start..end {
+            let (cols, vals) = self.model.row(current, t);
+            current = sample_weighted(cols, vals, rng)?;
+            states.push(current);
+            if obs_idx < self.observations.len() && self.observations[obs_idx].0 == t + 1 {
+                if self.observations[obs_idx].1 != current {
+                    return None;
+                }
+                obs_idx += 1;
+            }
+        }
+        Some(states)
+    }
+}
+
+/// TS2: segment-wise rejection sampling between consecutive observations.
+#[derive(Debug, Clone)]
+pub struct SegmentedSampler<'a, M> {
+    model: &'a M,
+    observations: &'a [(Timestamp, StateId)],
+}
+
+impl<'a, M: TransitionModel> SegmentedSampler<'a, M> {
+    /// Creates a segment-wise sampler.
+    pub fn new(model: &'a M, observations: &'a [(Timestamp, StateId)]) -> Self {
+        assert!(!observations.is_empty(), "need at least one observation");
+        SegmentedSampler { model, observations }
+    }
+
+    /// Attempts to draw one valid trajectory. `max_attempts_per_segment`
+    /// bounds the rejection loop of every individual segment.
+    pub fn sample_one<R: Rng>(
+        &self,
+        rng: &mut R,
+        max_attempts_per_segment: u64,
+    ) -> RejectionOutcome {
+        let start = self.observations[0].0;
+        let mut states: Vec<StateId> = vec![self.observations[0].1];
+        let mut total_attempts = 0u64;
+        for pair in self.observations.windows(2) {
+            let (t_from, s_from) = pair[0];
+            let (t_to, s_to) = pair[1];
+            let steps = (t_to - t_from) as usize;
+            let mut segment: Option<Vec<StateId>> = None;
+            for _ in 0..max_attempts_per_segment {
+                total_attempts += 1;
+                if let Some(seg) = self.try_segment(rng, t_from, s_from, steps, s_to) {
+                    segment = Some(seg);
+                    break;
+                }
+            }
+            match segment {
+                Some(seg) => states.extend_from_slice(&seg),
+                None => return RejectionOutcome { attempts: total_attempts, trajectory: None },
+            }
+        }
+        RejectionOutcome {
+            attempts: total_attempts,
+            trajectory: Some(Trajectory::new(start, states)),
+        }
+    }
+
+    /// Simulates `steps` transitions from `(t_from, s_from)`; succeeds if the
+    /// final state equals `s_to`. Returns the intermediate states *excluding*
+    /// the start state (so segments can be concatenated).
+    fn try_segment<R: Rng>(
+        &self,
+        rng: &mut R,
+        t_from: Timestamp,
+        s_from: StateId,
+        steps: usize,
+        s_to: StateId,
+    ) -> Option<Vec<StateId>> {
+        let mut current = s_from;
+        let mut out = Vec::with_capacity(steps);
+        for k in 0..steps {
+            let (cols, vals) = self.model.row(current, t_from + k as Timestamp);
+            current = sample_weighted(cols, vals, rng)?;
+            out.push(current);
+        }
+        if current == s_to {
+            Some(out)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ust_markov::{CsrMatrix, MarkovModel};
+
+    /// A 4-state chain where each state moves forward or stays with equal
+    /// probability (so hitting a specific later observation is unlikely).
+    fn drifting_chain() -> MarkovModel {
+        MarkovModel::homogeneous(CsrMatrix::from_rows(vec![
+            vec![(0, 0.5), (1, 0.5)],
+            vec![(1, 0.5), (2, 0.5)],
+            vec![(2, 0.5), (3, 0.5)],
+            vec![(3, 1.0)],
+        ]))
+    }
+
+    #[test]
+    fn valid_samples_hit_all_observations() {
+        let model = drifting_chain();
+        let obs = vec![(0u32, 0u32), (4, 2), (8, 3)];
+        let mut rng = StdRng::seed_from_u64(0);
+        let ts1 = RejectionSampler::new(&model, &obs);
+        let out = ts1.sample_one(&mut rng, 100_000);
+        assert!(out.succeeded());
+        assert!(out.trajectory.unwrap().consistent_with(&obs));
+
+        let ts2 = SegmentedSampler::new(&model, &obs);
+        let out = ts2.sample_one(&mut rng, 100_000);
+        assert!(out.succeeded());
+        let tr = out.trajectory.unwrap();
+        assert!(tr.consistent_with(&obs));
+        assert_eq!(tr.len(), 9);
+    }
+
+    #[test]
+    fn impossible_observations_exhaust_the_budget() {
+        let model = drifting_chain();
+        // State 3 is absorbing, so the chain can never be back at 0 afterwards.
+        let obs = vec![(0u32, 3u32), (2, 0)];
+        let mut rng = StdRng::seed_from_u64(1);
+        let ts1 = RejectionSampler::new(&model, &obs);
+        let out = ts1.sample_one(&mut rng, 50);
+        assert!(!out.succeeded());
+        assert_eq!(out.attempts, 50);
+        let ts2 = SegmentedSampler::new(&model, &obs);
+        let out = ts2.sample_one(&mut rng, 50);
+        assert!(!out.succeeded());
+    }
+
+    #[test]
+    fn segmented_sampling_needs_fewer_attempts_than_full_rejection() {
+        // With several observations, TS1's attempt count explodes while TS2's
+        // stays roughly linear; verify the ordering on a moderate instance.
+        let model = drifting_chain();
+        let obs: Vec<(Timestamp, StateId)> =
+            vec![(0, 0), (3, 1), (6, 2), (9, 3)];
+        let mut rng = StdRng::seed_from_u64(42);
+        let runs = 20;
+        let mut ts1_attempts = 0u64;
+        let mut ts2_attempts = 0u64;
+        for _ in 0..runs {
+            ts1_attempts += RejectionSampler::new(&model, &obs)
+                .sample_one(&mut rng, 1_000_000)
+                .attempts;
+            ts2_attempts += SegmentedSampler::new(&model, &obs)
+                .sample_one(&mut rng, 1_000_000)
+                .attempts;
+        }
+        assert!(
+            ts2_attempts < ts1_attempts,
+            "TS2 ({ts2_attempts}) should need fewer attempts than TS1 ({ts1_attempts})"
+        );
+    }
+
+    #[test]
+    fn single_observation_needs_exactly_one_attempt() {
+        let model = drifting_chain();
+        let obs = vec![(5u32, 1u32)];
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = RejectionSampler::new(&model, &obs).sample_one(&mut rng, 10);
+        assert!(out.succeeded());
+        assert_eq!(out.attempts, 1);
+        let tr = out.trajectory.unwrap();
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr.state_at(5), Some(1));
+    }
+}

@@ -1,0 +1,35 @@
+//! # ust-spatial
+//!
+//! Spatial substrate for probabilistic nearest-neighbor queries on uncertain
+//! moving-object trajectories (Niedermayer et al., PVLDB 7(3), 2013).
+//!
+//! The paper assumes a *discrete* state space `S = {s_1, ..., s_|S|} ⊂ R^d`
+//! (Section 3): road crossings, RFID reader positions, or grid cells. This
+//! crate provides
+//!
+//! * [`Point`] — a position in the plane together with Euclidean distance
+//!   helpers (the paper's distance function `d`),
+//! * [`Rect`] — axis-aligned minimum bounding rectangles of arbitrary constant
+//!   dimension, with the `dmin`/`dmax` distance bounds used by the UST-tree
+//!   pruning rules of Section 6,
+//! * [`StateSpace`] — the finite alphabet of possible locations, mapping
+//!   [`StateId`]s to points,
+//! * [`rtree::RTree`] — a from-scratch R*-tree ([Beckmann et al., SIGMOD 1990],
+//!   reference [31] of the paper) used as the secondary index underneath the
+//!   UST-tree.
+//!
+//! Everything in this crate is deterministic and purely geometric; all
+//! probabilistic machinery lives in `ust-markov` and above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod point;
+pub mod rect;
+pub mod rtree;
+pub mod state_space;
+
+pub use point::Point;
+pub use rect::{Rect, Rect2, Rect3};
+pub use rtree::RTree;
+pub use state_space::{StateId, StateSpace};

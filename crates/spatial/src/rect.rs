@@ -1,0 +1,399 @@
+//! Axis-aligned minimum bounding rectangles (MBRs) of constant dimension.
+//!
+//! The UST-tree (Section 6 of the paper) conservatively approximates the set
+//! of possible `(location, time)` pairs of an uncertain object between two
+//! observations by minimum bounding rectangles, and prunes database objects
+//! with the classic `dmin`/`dmax` distance bounds:
+//!
+//! * `dmin(o(t), q(t))` — smallest possible distance between any point of the
+//!   MBR and the query position,
+//! * `dmax(o(t), q(t))` — largest possible distance.
+//!
+//! [`Rect`] is generic over the dimension so the same type serves both the
+//! purely spatial 2-d MBRs (`Rect2`) and the spatio-temporal 3-d boxes
+//! (`Rect3`, axes `x`, `y`, `t`) stored in the R*-tree.
+
+use crate::point::Point;
+
+/// An axis-aligned box in `D` dimensions, stored as per-axis `[min, max]`.
+///
+/// (No serde derives here: serde cannot derive for const-generic arrays.
+/// Rectangles are derived data and are never part of a persisted dataset.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect<const D: usize> {
+    /// Per-axis lower bounds.
+    pub min: [f64; D],
+    /// Per-axis upper bounds.
+    pub max: [f64; D],
+}
+
+/// A two-dimensional rectangle (purely spatial MBR).
+pub type Rect2 = Rect<2>;
+/// A three-dimensional box (spatio-temporal MBR: `x`, `y`, `t`).
+pub type Rect3 = Rect<3>;
+
+impl<const D: usize> Rect<D> {
+    /// Creates a rectangle from lower and upper bounds.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if any `min[i] > max[i]`.
+    #[inline]
+    pub fn new(min: [f64; D], max: [f64; D]) -> Self {
+        debug_assert!(
+            min.iter().zip(max.iter()).all(|(lo, hi)| lo <= hi),
+            "invalid rectangle: min {min:?} > max {max:?}"
+        );
+        Rect { min, max }
+    }
+
+    /// A degenerate rectangle covering exactly one point.
+    #[inline]
+    pub fn point(p: [f64; D]) -> Self {
+        Rect { min: p, max: p }
+    }
+
+    /// An "empty" rectangle suitable as the neutral element of [`Rect::union`].
+    ///
+    /// Its bounds are inverted (`+inf`/`-inf`), so the union with any proper
+    /// rectangle yields that rectangle. Use [`Rect::is_empty`] to test for it.
+    #[inline]
+    pub fn empty() -> Self {
+        Rect { min: [f64::INFINITY; D], max: [f64::NEG_INFINITY; D] }
+    }
+
+    /// Whether this is the empty rectangle produced by [`Rect::empty`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        (0..D).any(|i| self.min[i] > self.max[i])
+    }
+
+    /// Extent along axis `i` (zero for the empty rectangle).
+    #[inline]
+    pub fn extent(&self, i: usize) -> f64 {
+        (self.max[i] - self.min[i]).max(0.0)
+    }
+
+    /// The product of all extents (hyper-volume). Zero for degenerate boxes.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (0..D).map(|i| self.extent(i)).product()
+    }
+
+    /// The sum of all extents (the "margin" used by the R*-tree split
+    /// heuristic).
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        (0..D).map(|i| self.extent(i)).sum()
+    }
+
+    /// Center of the rectangle.
+    #[inline]
+    pub fn center(&self) -> [f64; D] {
+        let mut c = [0.0; D];
+        for i in 0..D {
+            c[i] = 0.5 * (self.min[i] + self.max[i]);
+        }
+        c
+    }
+
+    /// Smallest rectangle containing both `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Rect<D>) -> Rect<D> {
+        let mut min = [0.0; D];
+        let mut max = [0.0; D];
+        for i in 0..D {
+            min[i] = self.min[i].min(other.min[i]);
+            max[i] = self.max[i].max(other.max[i]);
+        }
+        Rect { min, max }
+    }
+
+    /// Extends `self` in place to contain `other`.
+    #[inline]
+    pub fn extend(&mut self, other: &Rect<D>) {
+        for i in 0..D {
+            self.min[i] = self.min[i].min(other.min[i]);
+            self.max[i] = self.max[i].max(other.max[i]);
+        }
+    }
+
+    /// Extends `self` in place to contain the point `p`.
+    #[inline]
+    pub fn extend_point(&mut self, p: &[f64; D]) {
+        for i in 0..D {
+            self.min[i] = self.min[i].min(p[i]);
+            self.max[i] = self.max[i].max(p[i]);
+        }
+    }
+
+    /// Increase in area that would result from extending `self` to contain
+    /// `other` (the R-tree "enlargement" criterion).
+    #[inline]
+    pub fn enlargement(&self, other: &Rect<D>) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Area of the intersection of `self` and `other` (zero if disjoint).
+    #[inline]
+    pub fn overlap_area(&self, other: &Rect<D>) -> f64 {
+        let mut a = 1.0;
+        for i in 0..D {
+            let lo = self.min[i].max(other.min[i]);
+            let hi = self.max[i].min(other.max[i]);
+            if hi <= lo {
+                return 0.0;
+            }
+            a *= hi - lo;
+        }
+        a
+    }
+
+    /// Whether the two rectangles intersect (boundaries touching counts).
+    #[inline]
+    pub fn intersects(&self, other: &Rect<D>) -> bool {
+        (0..D).all(|i| self.min[i] <= other.max[i] && other.min[i] <= self.max[i])
+    }
+
+    /// Whether `self` fully contains `other`.
+    #[inline]
+    pub fn contains(&self, other: &Rect<D>) -> bool {
+        (0..D).all(|i| self.min[i] <= other.min[i] && self.max[i] >= other.max[i])
+    }
+
+    /// Whether `self` contains the point `p` (boundaries inclusive).
+    #[inline]
+    pub fn contains_point(&self, p: &[f64; D]) -> bool {
+        (0..D).all(|i| self.min[i] <= p[i] && p[i] <= self.max[i])
+    }
+
+    /// Squared minimum distance between any point of `self` and the point `p`.
+    #[inline]
+    pub fn min_dist2_point(&self, p: &[f64; D]) -> f64 {
+        let mut d2 = 0.0;
+        for i in 0..D {
+            let d = if p[i] < self.min[i] {
+                self.min[i] - p[i]
+            } else if p[i] > self.max[i] {
+                p[i] - self.max[i]
+            } else {
+                0.0
+            };
+            d2 += d * d;
+        }
+        d2
+    }
+
+    /// Squared maximum distance between any point of `self` and the point `p`.
+    #[inline]
+    pub fn max_dist2_point(&self, p: &[f64; D]) -> f64 {
+        let mut d2 = 0.0;
+        for i in 0..D {
+            let d = (p[i] - self.min[i]).abs().max((p[i] - self.max[i]).abs());
+            d2 += d * d;
+        }
+        d2
+    }
+
+    /// Squared minimum distance between any point of `self` and any point of
+    /// `other` (zero if they intersect).
+    #[inline]
+    pub fn min_dist2_rect(&self, other: &Rect<D>) -> f64 {
+        let mut d2 = 0.0;
+        for i in 0..D {
+            let d = (self.min[i] - other.max[i]).max(other.min[i] - self.max[i]).max(0.0);
+            d2 += d * d;
+        }
+        d2
+    }
+
+    /// Squared maximum distance between any point of `self` and any point of
+    /// `other`.
+    #[inline]
+    pub fn max_dist2_rect(&self, other: &Rect<D>) -> f64 {
+        let mut d2 = 0.0;
+        for i in 0..D {
+            let d = (self.max[i] - other.min[i]).abs().max((other.max[i] - self.min[i]).abs());
+            d2 += d * d;
+        }
+        d2
+    }
+}
+
+impl Rect<2> {
+    /// Builds the smallest rectangle containing all given points.
+    ///
+    /// Returns [`Rect::empty`] for an empty iterator.
+    pub fn bounding(points: impl IntoIterator<Item = Point>) -> Rect2 {
+        let mut r = Rect::empty();
+        for p in points {
+            r.extend_point(&p.coords());
+        }
+        r
+    }
+
+    /// Minimum Euclidean distance from this rectangle to a [`Point`].
+    #[inline]
+    pub fn min_dist(&self, p: &Point) -> f64 {
+        self.min_dist2_point(&p.coords()).sqrt()
+    }
+
+    /// Maximum Euclidean distance from this rectangle to a [`Point`].
+    #[inline]
+    pub fn max_dist(&self, p: &Point) -> f64 {
+        self.max_dist2_point(&p.coords()).sqrt()
+    }
+
+    /// Lifts this spatial rectangle into space-time, covering the (inclusive)
+    /// timestamp interval `[t_start, t_end]`.
+    #[inline]
+    pub fn with_time(&self, t_start: f64, t_end: f64) -> Rect3 {
+        Rect::new(
+            [self.min[0], self.min[1], t_start],
+            [self.max[0], self.max[1], t_end],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(min: [f64; 2], max: [f64; 2]) -> Rect2 {
+        Rect::new(min, max)
+    }
+
+    #[test]
+    fn area_margin_center() {
+        let a = r([0.0, 0.0], [2.0, 3.0]);
+        assert_eq!(a.area(), 6.0);
+        assert_eq!(a.margin(), 5.0);
+        assert_eq!(a.center(), [1.0, 1.5]);
+    }
+
+    #[test]
+    fn empty_rectangle_is_union_identity() {
+        let e = Rect2::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        let a = r([1.0, 1.0], [2.0, 2.0]);
+        assert_eq!(e.union(&a), a);
+        assert_eq!(a.union(&e), a);
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([2.0, -1.0], [3.0, 0.5]);
+        let u = a.union(&b);
+        assert!(u.contains(&a));
+        assert!(u.contains(&b));
+        assert_eq!(u, r([0.0, -1.0], [3.0, 1.0]));
+    }
+
+    #[test]
+    fn intersection_and_overlap() {
+        let a = r([0.0, 0.0], [2.0, 2.0]);
+        let b = r([1.0, 1.0], [3.0, 3.0]);
+        let c = r([5.0, 5.0], [6.0, 6.0]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.overlap_area(&b), 1.0);
+        assert_eq!(a.overlap_area(&c), 0.0);
+    }
+
+    #[test]
+    fn touching_rectangles_intersect_with_zero_overlap() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([1.0, 0.0], [2.0, 1.0]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.overlap_area(&b), 0.0);
+    }
+
+    #[test]
+    fn enlargement() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([0.25, 0.25], [0.75, 0.75]);
+        assert_eq!(a.enlargement(&b), 0.0);
+        let c = r([0.0, 0.0], [2.0, 1.0]);
+        assert_eq!(a.enlargement(&c), 1.0);
+    }
+
+    #[test]
+    fn point_distances_inside_and_outside() {
+        let a = r([0.0, 0.0], [2.0, 2.0]);
+        // Point inside: min dist 0, max dist to farthest corner.
+        let p = Point::new(0.5, 0.5);
+        assert_eq!(a.min_dist(&p), 0.0);
+        let expected_max = Point::new(2.0, 2.0).dist(&p);
+        assert!((a.max_dist(&p) - expected_max).abs() < 1e-12);
+        // Point outside along x.
+        let q = Point::new(5.0, 1.0);
+        assert_eq!(a.min_dist(&q), 3.0);
+        let expected_max_q = Point::new(0.0, 2.0).dist(&q).max(Point::new(0.0, 0.0).dist(&q));
+        assert!((a.max_dist(&q) - expected_max_q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_rect_distances() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([3.0, 0.0], [4.0, 1.0]);
+        assert_eq!(a.min_dist2_rect(&b), 4.0);
+        assert_eq!(a.max_dist2_rect(&b), 16.0 + 1.0);
+        // Intersecting rectangles have min distance zero.
+        let c = r([0.5, 0.5], [2.0, 2.0]);
+        assert_eq!(a.min_dist2_rect(&c), 0.0);
+    }
+
+    #[test]
+    fn bounding_of_points() {
+        let pts = vec![Point::new(1.0, 5.0), Point::new(-2.0, 3.0), Point::new(0.0, 7.0)];
+        let b = Rect2::bounding(pts);
+        assert_eq!(b, r([-2.0, 3.0], [1.0, 7.0]));
+        assert!(Rect2::bounding(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn with_time_produces_3d_box() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let st = a.with_time(5.0, 9.0);
+        assert_eq!(st.min, [0.0, 0.0, 5.0]);
+        assert_eq!(st.max, [1.0, 1.0, 9.0]);
+        assert!(st.contains_point(&[0.5, 0.5, 7.0]));
+        assert!(!st.contains_point(&[0.5, 0.5, 10.0]));
+    }
+
+    #[test]
+    fn min_max_dist_bound_every_contained_point_pair() {
+        // A small deterministic grid check: for all pairs of sample points
+        // inside two boxes, dmin <= d <= dmax.
+        let a = r([0.0, 0.0], [1.0, 2.0]);
+        let b = r([2.5, -1.0], [4.0, 0.5]);
+        let dmin = a.min_dist2_rect(&b).sqrt();
+        let dmax = a.max_dist2_rect(&b).sqrt();
+        for i in 0..=4 {
+            for j in 0..=4 {
+                for k in 0..=4 {
+                    for l in 0..=4 {
+                        let p = Point::new(
+                            a.min[0] + a.extent(0) * i as f64 / 4.0,
+                            a.min[1] + a.extent(1) * j as f64 / 4.0,
+                        );
+                        let q = Point::new(
+                            b.min[0] + b.extent(0) * k as f64 / 4.0,
+                            b.min[1] + b.extent(1) * l as f64 / 4.0,
+                        );
+                        let d = p.dist(&q);
+                        assert!(d >= dmin - 1e-9, "d {d} < dmin {dmin}");
+                        assert!(d <= dmax + 1e-9, "d {d} > dmax {dmax}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! R*-tree node representation and recursive algorithms.
+
+use super::split;
+use crate::rect::Rect;
+
+/// A leaf entry: one stored item and its bounding box.
+#[derive(Debug, Clone)]
+pub struct Entry<const D: usize, T> {
+    /// Bounding box of the item.
+    pub rect: Rect<D>,
+    /// The stored item.
+    pub item: T,
+}
+
+/// An internal entry: a child node and the MBR of everything below it.
+#[derive(Debug, Clone)]
+pub(super) struct Child<const D: usize, T> {
+    pub(super) rect: Rect<D>,
+    pub(super) node: Box<Node<D, T>>,
+}
+
+/// A node of the R*-tree.
+#[derive(Debug, Clone)]
+pub(super) enum Node<const D: usize, T> {
+    Leaf(Vec<Entry<D, T>>),
+    Internal(Vec<Child<D, T>>),
+}
+
+impl<const D: usize, T> Node<D, T> {
+    /// Height of the subtree rooted at this node (leaf = 1).
+    pub(super) fn height(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 1,
+            Node::Internal(children) => {
+                1 + children.first().map(|c| c.node.height()).unwrap_or(0)
+            }
+        }
+    }
+
+    /// MBR of everything in this subtree.
+    pub(super) fn mbr(&self) -> Rect<D> {
+        let mut r = Rect::empty();
+        match self {
+            Node::Leaf(entries) => {
+                for e in entries {
+                    r.extend(&e.rect);
+                }
+            }
+            Node::Internal(children) => {
+                for c in children {
+                    r.extend(&c.rect);
+                }
+            }
+        }
+        r
+    }
+
+    /// Inserts an item into this subtree. Returns `Some((rect, sibling))` if
+    /// this node had to split, in which case the caller must install the new
+    /// sibling next to this node.
+    pub(super) fn insert(
+        &mut self,
+        rect: Rect<D>,
+        item: T,
+        max_entries: usize,
+        min_entries: usize,
+    ) -> Option<(Rect<D>, Node<D, T>)> {
+        match self {
+            Node::Leaf(entries) => {
+                entries.push(Entry { rect, item });
+                if entries.len() > max_entries {
+                    let (left, right) = split::split_entries(
+                        std::mem::take(entries),
+                        min_entries,
+                        |e: &Entry<D, T>| e.rect,
+                    );
+                    *entries = left;
+                    let sibling = Node::Leaf(right);
+                    Some((sibling.mbr(), sibling))
+                } else {
+                    None
+                }
+            }
+            Node::Internal(children) => {
+                let child_is_leaf = matches!(children[0].node.as_ref(), Node::Leaf(_));
+                let idx = choose_subtree(children, &rect, child_is_leaf);
+                children[idx].rect.extend(&rect);
+                let overflow = children[idx].node.insert(rect, item, max_entries, min_entries);
+                // Recompute the chosen child's MBR exactly after a split below
+                // (the split may have moved entries out of it).
+                if let Some((sib_rect, sibling)) = overflow {
+                    children[idx].rect = children[idx].node.mbr();
+                    children.push(Child { rect: sib_rect, node: Box::new(sibling) });
+                    if children.len() > max_entries {
+                        let (left, right) = split::split_entries(
+                            std::mem::take(children),
+                            min_entries,
+                            |c: &Child<D, T>| c.rect,
+                        );
+                        *children = left;
+                        let sibling = Node::Internal(right);
+                        return Some((sibling.mbr(), sibling));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Calls `f` for every item whose rectangle intersects `query`.
+    pub(super) fn for_each_intersecting<'a>(
+        &'a self,
+        query: &Rect<D>,
+        f: &mut impl FnMut(&'a Rect<D>, &'a T),
+    ) {
+        match self {
+            Node::Leaf(entries) => {
+                for e in entries {
+                    if e.rect.intersects(query) {
+                        f(&e.rect, &e.item);
+                    }
+                }
+            }
+            Node::Internal(children) => {
+                for c in children {
+                    if c.rect.intersects(query) {
+                        c.node.for_each_intersecting(query, f);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Generic pruned traversal; see [`super::RTree::search_with`].
+    pub(super) fn search_with<'a>(
+        &'a self,
+        descend: &mut impl FnMut(&Rect<D>) -> bool,
+        on_item: &mut impl FnMut(&'a Rect<D>, &'a T),
+    ) {
+        match self {
+            Node::Leaf(entries) => {
+                for e in entries {
+                    if descend(&e.rect) {
+                        on_item(&e.rect, &e.item);
+                    }
+                }
+            }
+            Node::Internal(children) => {
+                for c in children {
+                    if descend(&c.rect) {
+                        c.node.search_with(descend, on_item);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects references to all `(rect, item)` pairs in this subtree.
+    pub(super) fn collect_all<'a>(&'a self, out: &mut Vec<(&'a Rect<D>, &'a T)>) {
+        match self {
+            Node::Leaf(entries) => {
+                for e in entries {
+                    out.push((&e.rect, &e.item));
+                }
+            }
+            Node::Internal(children) => {
+                for c in children {
+                    c.node.collect_all(out);
+                }
+            }
+        }
+    }
+
+    /// Counts stored items.
+    pub(super) fn collect_count(&self, out: &mut usize) {
+        match self {
+            Node::Leaf(entries) => *out += entries.len(),
+            Node::Internal(children) => {
+                for c in children {
+                    c.node.collect_count(out);
+                }
+            }
+        }
+    }
+
+    /// Validates structural invariants; see [`super::RTree::check_invariants`].
+    pub(super) fn check_invariants(
+        &self,
+        is_root: bool,
+        max_entries: usize,
+        min_entries: usize,
+    ) -> Result<usize, String> {
+        match self {
+            Node::Leaf(entries) => {
+                if entries.len() > max_entries {
+                    return Err(format!("leaf overfull: {}", entries.len()));
+                }
+                // Note: STR bulk loading may leave a tail node with fewer than
+                // `min_entries` entries, so only emptiness is an error here.
+                let _ = min_entries;
+                if !is_root && entries.is_empty() {
+                    return Err("empty non-root leaf".to_string());
+                }
+                Ok(1)
+            }
+            Node::Internal(children) => {
+                if children.is_empty() {
+                    return Err("internal node without children".to_string());
+                }
+                if children.len() > max_entries {
+                    return Err(format!("internal node overfull: {}", children.len()));
+                }
+                let mut depth = None;
+                for c in children {
+                    let child_mbr = c.node.mbr();
+                    if !c.rect.contains(&child_mbr) {
+                        return Err("child MBR not contained in stored rect".to_string());
+                    }
+                    let d = c.node.check_invariants(false, max_entries, min_entries)?;
+                    match depth {
+                        None => depth = Some(d),
+                        Some(prev) if prev != d => {
+                            return Err("leaves at different depths".to_string())
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(depth.unwrap_or(0) + 1)
+            }
+        }
+    }
+}
+
+/// R* choose-subtree: at the level directly above the leaves, minimize overlap
+/// enlargement (ties: area enlargement, then area); higher up, minimize area
+/// enlargement (ties: area).
+fn choose_subtree<const D: usize, T>(
+    children: &[Child<D, T>],
+    rect: &Rect<D>,
+    child_is_leaf: bool,
+) -> usize {
+    debug_assert!(!children.is_empty());
+    if child_is_leaf {
+        let mut best = 0usize;
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for (i, cand) in children.iter().enumerate() {
+            let enlarged = cand.rect.union(rect);
+            // Overlap enlargement of candidate i with all other children.
+            let mut overlap_before = 0.0;
+            let mut overlap_after = 0.0;
+            for (j, other) in children.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                overlap_before += cand.rect.overlap_area(&other.rect);
+                overlap_after += enlarged.overlap_area(&other.rect);
+            }
+            let key = (
+                overlap_after - overlap_before,
+                cand.rect.enlargement(rect),
+                cand.rect.area(),
+            );
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    } else {
+        let mut best = 0usize;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for (i, cand) in children.iter().enumerate() {
+            let key = (cand.rect.enlargement(rect), cand.rect.area());
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+}

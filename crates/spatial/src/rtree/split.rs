@@ -1,0 +1,194 @@
+//! The R*-tree topological split.
+//!
+//! When a node overflows, its entries are redistributed into two groups:
+//!
+//! 1. **Choose split axis.** For every axis, the entries are sorted by their
+//!    lower and by their upper bound; for each of the `M - 2m + 2` legal
+//!    distributions the sum of the two group margins is accumulated. The axis
+//!    with the smallest total margin wins.
+//! 2. **Choose split index.** Along the chosen axis, the distribution with
+//!    the smallest overlap between the two group MBRs is chosen; ties are
+//!    broken by the smallest combined area.
+//!
+//! The implementation is generic over the entry type via a `rect_of` accessor
+//! so that the same code splits leaf entries and internal children.
+
+use crate::rect::Rect;
+
+/// Splits `entries` (which overflowed, i.e. `entries.len() == M + 1`) into two
+/// groups according to the R* heuristic. Each group has at least
+/// `min_entries` elements.
+pub(super) fn split_entries<const D: usize, E>(
+    mut entries: Vec<E>,
+    min_entries: usize,
+    rect_of: impl Fn(&E) -> Rect<D>,
+) -> (Vec<E>, Vec<E>) {
+    let total = entries.len();
+    debug_assert!(total >= 2 * min_entries, "not enough entries to split");
+
+    // --- Step 1: choose the split axis by minimum margin sum. ---
+    let mut best_axis = 0usize;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..D {
+        // Consider both the lower-bound and the upper-bound sort; the margin
+        // sum of an axis is the sum over both sorts and all distributions.
+        let mut margin_sum = 0.0;
+        for sort_by_upper in [false, true] {
+            sort_axis(&mut entries, axis, sort_by_upper, &rect_of);
+            margin_sum += margin_sum_of_distributions(&entries, min_entries, &rect_of);
+        }
+        if margin_sum < best_margin {
+            best_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+
+    // --- Step 2: choose the distribution on the best axis. ---
+    let mut best: Option<(bool, usize, f64, f64)> = None; // (sort_by_upper, split_at, overlap, area)
+    for sort_by_upper in [false, true] {
+        sort_axis(&mut entries, best_axis, sort_by_upper, &rect_of);
+        let prefix = prefix_mbrs(&entries, &rect_of);
+        let suffix = suffix_mbrs(&entries, &rect_of);
+        for split_at in min_entries..=(total - min_entries) {
+            let left = prefix[split_at];
+            let right = suffix[split_at];
+            let overlap = left.overlap_area(&right);
+            let area = left.area() + right.area();
+            let better = match &best {
+                None => true,
+                Some((_, _, o, a)) => {
+                    overlap < *o || (overlap == *o && area < *a)
+                }
+            };
+            if better {
+                best = Some((sort_by_upper, split_at, overlap, area));
+            }
+        }
+    }
+
+    let (sort_by_upper, split_at, _, _) = best.expect("at least one distribution exists");
+    sort_axis(&mut entries, best_axis, sort_by_upper, &rect_of);
+    let right = entries.split_off(split_at);
+    (entries, right)
+}
+
+fn sort_axis<const D: usize, E>(
+    entries: &mut [E],
+    axis: usize,
+    by_upper: bool,
+    rect_of: &impl Fn(&E) -> Rect<D>,
+) {
+    entries.sort_by(|a, b| {
+        let (ra, rb) = (rect_of(a), rect_of(b));
+        let (ka, kb) = if by_upper {
+            (ra.max[axis], rb.max[axis])
+        } else {
+            (ra.min[axis], rb.min[axis])
+        };
+        ka.total_cmp(&kb).then(ra.min[axis].total_cmp(&rb.min[axis]))
+    });
+}
+
+/// `prefix[i]` is the MBR of `entries[..i]` (index 0 is the empty rect).
+fn prefix_mbrs<const D: usize, E>(
+    entries: &[E],
+    rect_of: &impl Fn(&E) -> Rect<D>,
+) -> Vec<Rect<D>> {
+    let mut out = Vec::with_capacity(entries.len() + 1);
+    let mut acc = Rect::empty();
+    out.push(acc);
+    for e in entries {
+        acc.extend(&rect_of(e));
+        out.push(acc);
+    }
+    out
+}
+
+/// `suffix[i]` is the MBR of `entries[i..]` (index `len` is the empty rect).
+fn suffix_mbrs<const D: usize, E>(
+    entries: &[E],
+    rect_of: &impl Fn(&E) -> Rect<D>,
+) -> Vec<Rect<D>> {
+    let mut out = vec![Rect::empty(); entries.len() + 1];
+    let mut acc = Rect::empty();
+    for (i, e) in entries.iter().enumerate().rev() {
+        acc.extend(&rect_of(e));
+        out[i] = acc;
+    }
+    out
+}
+
+fn margin_sum_of_distributions<const D: usize, E>(
+    entries: &[E],
+    min_entries: usize,
+    rect_of: &impl Fn(&E) -> Rect<D>,
+) -> f64 {
+    let total = entries.len();
+    let prefix = prefix_mbrs(entries, rect_of);
+    let suffix = suffix_mbrs(entries, rect_of);
+    let mut sum = 0.0;
+    for split_at in min_entries..=(total - min_entries) {
+        sum += prefix[split_at].margin() + suffix[split_at].margin();
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect2;
+
+    fn rects(coords: &[(f64, f64)]) -> Vec<Rect2> {
+        coords.iter().map(|&(x, y)| Rect::new([x, y], [x + 1.0, y + 1.0])).collect()
+    }
+
+    #[test]
+    fn split_respects_minimum_fill() {
+        let entries = rects(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (10.0, 0.0), (11.0, 0.0)]);
+        let (left, right) = split_entries(entries, 2, |r| *r);
+        assert!(left.len() >= 2);
+        assert!(right.len() >= 2);
+        assert_eq!(left.len() + right.len(), 5);
+    }
+
+    #[test]
+    fn split_separates_clusters() {
+        // Two well-separated clusters along x must end up in different groups.
+        let entries = rects(&[
+            (0.0, 0.0),
+            (0.5, 0.2),
+            (1.0, 0.1),
+            (100.0, 0.0),
+            (100.5, 0.3),
+            (101.0, 0.1),
+        ]);
+        let (left, right) = split_entries(entries, 2, |r| *r);
+        let left_max_x = left.iter().map(|r| r.max[0]).fold(f64::NEG_INFINITY, f64::max);
+        let right_min_x = right.iter().map(|r| r.min[0]).fold(f64::INFINITY, f64::min);
+        let (lo, hi) = if left_max_x < right_min_x {
+            (left_max_x, right_min_x)
+        } else {
+            let right_max_x = right.iter().map(|r| r.max[0]).fold(f64::NEG_INFINITY, f64::max);
+            let left_min_x = left.iter().map(|r| r.min[0]).fold(f64::INFINITY, f64::min);
+            (right_max_x, left_min_x)
+        };
+        assert!(lo < 50.0 && hi > 50.0, "clusters were not separated: {lo} {hi}");
+    }
+
+    #[test]
+    fn split_chooses_axis_with_smaller_margin() {
+        // Entries spread widely along y but tightly along x: the split should
+        // partition along y, producing groups with disjoint y ranges.
+        let entries = rects(&[(0.0, 0.0), (0.1, 10.0), (0.2, 20.0), (0.0, 30.0), (0.1, 40.0)]);
+        let (left, right) = split_entries(entries, 2, |r| *r);
+        let left_mbr = left.iter().fold(Rect2::empty(), |mut acc, r| {
+            acc.extend(r);
+            acc
+        });
+        let right_mbr = right.iter().fold(Rect2::empty(), |mut acc, r| {
+            acc.extend(r);
+            acc
+        });
+        assert_eq!(left_mbr.overlap_area(&right_mbr), 0.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! The uncertain trajectory database `D`.
+//!
+//! A database bundles the discrete state space, the a-priori Markov model(s)
+//! and the uncertain objects (observation sets). In the paper's experiments
+//! all objects share a single model ("Due to the sparsity of data, we assume
+//! that a-priori, all objects utilize the same Markov model M", Section 7);
+//! per-object overrides are supported for the general case of Section 3.1.
+
+use crate::object::{ObjectId, UncertainObject};
+use crate::Timestamp;
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+use ust_markov::MarkovModel;
+use ust_spatial::StateSpace;
+
+/// A database of uncertain moving-object trajectories.
+#[derive(Debug, Clone)]
+pub struct TrajectoryDatabase {
+    state_space: Arc<StateSpace>,
+    shared_model: Arc<MarkovModel>,
+    objects: Vec<UncertainObject>,
+    index_by_id: FxHashMap<ObjectId, usize>,
+    object_models: FxHashMap<ObjectId, Arc<MarkovModel>>,
+}
+
+impl TrajectoryDatabase {
+    /// Creates an empty database over the given state space and shared
+    /// a-priori model.
+    pub fn new(state_space: Arc<StateSpace>, shared_model: Arc<MarkovModel>) -> Self {
+        TrajectoryDatabase {
+            state_space,
+            shared_model,
+            objects: Vec::new(),
+            index_by_id: FxHashMap::default(),
+            object_models: FxHashMap::default(),
+        }
+    }
+
+    /// Creates a database and bulk-inserts the given objects.
+    pub fn with_objects(
+        state_space: Arc<StateSpace>,
+        shared_model: Arc<MarkovModel>,
+        objects: Vec<UncertainObject>,
+    ) -> Self {
+        let mut db = Self::new(state_space, shared_model);
+        for o in objects {
+            db.insert(o);
+        }
+        db
+    }
+
+    /// Inserts an object. An existing object with the same id is replaced.
+    pub fn insert(&mut self, object: UncertainObject) {
+        match self.index_by_id.get(&object.id()) {
+            Some(&idx) => self.objects[idx] = object,
+            None => {
+                self.index_by_id.insert(object.id(), self.objects.len());
+                self.objects.push(object);
+            }
+        }
+    }
+
+    /// Registers an object-specific a-priori model, overriding the shared one.
+    pub fn set_object_model(&mut self, id: ObjectId, model: Arc<MarkovModel>) {
+        self.object_models.insert(id, model);
+    }
+
+    /// Number of objects `|D|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the database contains no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// All objects, in insertion order.
+    #[inline]
+    pub fn objects(&self) -> &[UncertainObject] {
+        &self.objects
+    }
+
+    /// The object with the given id.
+    pub fn object(&self, id: ObjectId) -> Option<&UncertainObject> {
+        self.index_by_id.get(&id).map(|&i| &self.objects[i])
+    }
+
+    /// The a-priori model of the given object (its override if registered,
+    /// otherwise the shared model).
+    pub fn model_for(&self, id: ObjectId) -> &Arc<MarkovModel> {
+        self.object_models.get(&id).unwrap_or(&self.shared_model)
+    }
+
+    /// The shared a-priori model.
+    #[inline]
+    pub fn shared_model(&self) -> &Arc<MarkovModel> {
+        &self.shared_model
+    }
+
+    /// The discrete state space.
+    #[inline]
+    pub fn state_space(&self) -> &Arc<StateSpace> {
+        &self.state_space
+    }
+
+    /// Earliest and latest observation time over all objects, or `None` for an
+    /// empty database.
+    pub fn time_horizon(&self) -> Option<(Timestamp, Timestamp)> {
+        let min = self.objects.iter().map(|o| o.first_time()).min()?;
+        let max = self.objects.iter().map(|o| o.last_time()).max()?;
+        Some((min, max))
+    }
+
+    /// Ids of all objects whose covered interval includes every timestamp of
+    /// `[from, to]` — the only objects that can possibly be a ∀-nearest
+    /// neighbor over that interval.
+    pub fn objects_covering(&self, from: Timestamp, to: Timestamp) -> Vec<ObjectId> {
+        self.objects
+            .iter()
+            .filter(|o| o.covers_interval(from, to))
+            .map(|o| o.id())
+            .collect()
+    }
+
+    /// Ids of all objects whose covered interval overlaps `[from, to]` — these
+    /// can influence NN probabilities at some timestamp of the interval.
+    pub fn objects_overlapping(&self, from: Timestamp, to: Timestamp) -> Vec<ObjectId> {
+        self.objects
+            .iter()
+            .filter(|o| o.first_time() <= to && o.last_time() >= from)
+            .map(|o| o.id())
+            .collect()
+    }
+
+    /// Total number of observations stored in the database.
+    pub fn total_observations(&self) -> usize {
+        self.objects.iter().map(|o| o.num_observations()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ust_markov::CsrMatrix;
+    use ust_spatial::Point;
+
+    fn db() -> TrajectoryDatabase {
+        let space = Arc::new(StateSpace::from_points(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ]));
+        let model = Arc::new(MarkovModel::homogeneous(CsrMatrix::identity(3)));
+        let objects = vec![
+            UncertainObject::from_pairs(1, vec![(0, 0), (10, 1)]).unwrap(),
+            UncertainObject::from_pairs(2, vec![(5, 1), (15, 2)]).unwrap(),
+            UncertainObject::from_pairs(3, vec![(20, 2), (30, 0)]).unwrap(),
+        ];
+        TrajectoryDatabase::with_objects(space, model, objects)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut d = db();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.object(2).unwrap().first_time(), 5);
+        assert!(d.object(9).is_none());
+        // Replacing an existing id keeps the count.
+        d.insert(UncertainObject::from_pairs(2, vec![(1, 0)]).unwrap());
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.object(2).unwrap().first_time(), 1);
+        assert_eq!(d.total_observations(), 2 + 1 + 2);
+    }
+
+    #[test]
+    fn per_object_model_override() {
+        let mut d = db();
+        let special = Arc::new(MarkovModel::homogeneous(CsrMatrix::identity(3)));
+        d.set_object_model(1, special.clone());
+        assert!(Arc::ptr_eq(d.model_for(1), &special));
+        assert!(Arc::ptr_eq(d.model_for(2), d.shared_model()));
+    }
+
+    #[test]
+    fn horizon_and_coverage_queries() {
+        let d = db();
+        assert_eq!(d.time_horizon(), Some((0, 30)));
+        assert_eq!(d.objects_covering(6, 9), vec![1, 2]);
+        assert_eq!(d.objects_covering(0, 30), Vec::<ObjectId>::new());
+        let mut overlap = d.objects_overlapping(10, 20);
+        overlap.sort_unstable();
+        assert_eq!(overlap, vec![1, 2, 3]);
+        assert_eq!(d.objects_overlapping(31, 40), Vec::<ObjectId>::new());
+    }
+
+    #[test]
+    fn empty_database() {
+        let space = Arc::new(StateSpace::new());
+        let model = Arc::new(MarkovModel::homogeneous(CsrMatrix::identity(1)));
+        let d = TrajectoryDatabase::new(space, model);
+        assert!(d.is_empty());
+        assert_eq!(d.time_horizon(), None);
+    }
+}

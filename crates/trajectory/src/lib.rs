@@ -1,0 +1,42 @@
+//! # ust-trajectory
+//!
+//! The uncertain moving-object trajectory model of Niedermayer et al.
+//! (PVLDB 7(3), 2013, Section 3) and nearest-neighbor primitives on *certain*
+//! trajectories.
+//!
+//! A spatio-temporal database `D` stores, for every object `o`, a set of
+//! *observations* `Θ^o = {(t_1, θ_1), ..., (t_m, θ_m)}`: certain positions at
+//! certain times. Between observations the position is uncertain and governed
+//! by the object's a-priori Markov chain (see `ust-markov`).
+//!
+//! This crate provides:
+//!
+//! * [`object`] — observations and uncertain objects,
+//! * [`database`] — the trajectory database `D` (objects + state space +
+//!   shared or per-object a-priori models),
+//! * [`certain`] — materialised (certain) trajectories, i.e. realisations of
+//!   the stochastic process; these are what the Monte-Carlo sampler draws,
+//! * [`timemask`] — compact bit sets over query timestamps,
+//! * [`nn`] — nearest-neighbor primitives evaluated inside one possible world
+//!   (one certain trajectory per object), the building block that the
+//!   sampling-based query algorithms of `ust-core` aggregate over
+//!   (Section 5.2.3: "On each such (certain) world an existing solution for
+//!   NN search on certain trajectories is applied").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certain;
+pub mod database;
+pub mod nn;
+pub mod object;
+pub mod timemask;
+
+pub use certain::Trajectory;
+pub use database::TrajectoryDatabase;
+pub use nn::{knn_members_at, nn_objects_at, NnTimeProfile};
+pub use object::{ObjectId, Observation, ObservationError, UncertainObject};
+pub use timemask::TimeMask;
+
+pub use ust_markov::Timestamp;
+pub use ust_spatial::StateId;

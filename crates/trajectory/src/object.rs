@@ -1,0 +1,204 @@
+//! Observations and uncertain moving objects.
+
+use crate::{StateId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a moving object in the trajectory database.
+pub type ObjectId = u32;
+
+/// One observation `(t, θ)`: object was certainly at state `θ` at time `t`
+/// (Section 3.1 — "the location of an observation is assumed to be certain").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Observation time.
+    pub time: Timestamp,
+    /// Observed state.
+    pub state: StateId,
+}
+
+impl Observation {
+    /// Creates an observation.
+    pub const fn new(time: Timestamp, state: StateId) -> Self {
+        Observation { time, state }
+    }
+}
+
+/// Errors raised when constructing an [`UncertainObject`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObservationError {
+    /// The observation list was empty.
+    Empty,
+    /// Observation times were not strictly increasing.
+    NotStrictlyIncreasing {
+        /// Index of the offending observation.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ObservationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObservationError::Empty => write!(f, "an uncertain object needs at least one observation"),
+            ObservationError::NotStrictlyIncreasing { index } => {
+                write!(f, "observation times must be strictly increasing (violated at index {index})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObservationError {}
+
+/// An uncertain moving object: an identifier plus its chronologically sorted
+/// observations. Everything in between the observations is uncertain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UncertainObject {
+    id: ObjectId,
+    observations: Vec<Observation>,
+}
+
+impl UncertainObject {
+    /// Creates an uncertain object, validating the observation sequence.
+    pub fn new(
+        id: ObjectId,
+        observations: Vec<Observation>,
+    ) -> Result<Self, ObservationError> {
+        if observations.is_empty() {
+            return Err(ObservationError::Empty);
+        }
+        for (i, w) in observations.windows(2).enumerate() {
+            if w[0].time >= w[1].time {
+                return Err(ObservationError::NotStrictlyIncreasing { index: i + 1 });
+            }
+        }
+        Ok(UncertainObject { id, observations })
+    }
+
+    /// Creates an object from `(time, state)` pairs.
+    pub fn from_pairs(
+        id: ObjectId,
+        pairs: impl IntoIterator<Item = (Timestamp, StateId)>,
+    ) -> Result<Self, ObservationError> {
+        Self::new(id, pairs.into_iter().map(|(t, s)| Observation::new(t, s)).collect())
+    }
+
+    /// Object identifier.
+    #[inline]
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The observations in chronological order.
+    #[inline]
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Number of observations `|Θ^o|`.
+    #[inline]
+    pub fn num_observations(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Time of the first observation (start of the object's covered interval).
+    #[inline]
+    pub fn first_time(&self) -> Timestamp {
+        self.observations[0].time
+    }
+
+    /// Time of the last observation (end of the object's covered interval).
+    #[inline]
+    pub fn last_time(&self) -> Timestamp {
+        self.observations[self.observations.len() - 1].time
+    }
+
+    /// Whether the object's covered interval `[first, last]` includes `t`.
+    #[inline]
+    pub fn covers(&self, t: Timestamp) -> bool {
+        t >= self.first_time() && t <= self.last_time()
+    }
+
+    /// Whether the object's covered interval includes every timestamp of the
+    /// (inclusive) interval `[from, to]`.
+    #[inline]
+    pub fn covers_interval(&self, from: Timestamp, to: Timestamp) -> bool {
+        self.first_time() <= from && self.last_time() >= to
+    }
+
+    /// The observation at exactly time `t`, if any.
+    pub fn observed_state_at(&self, t: Timestamp) -> Option<StateId> {
+        self.observations
+            .binary_search_by_key(&t, |o| o.time)
+            .ok()
+            .map(|i| self.observations[i].state)
+    }
+
+    /// The observations as `(time, state)` pairs (the input format of the
+    /// model adaptation in `ust-markov`).
+    pub fn observation_pairs(&self) -> Vec<(Timestamp, StateId)> {
+        self.observations.iter().map(|o| (o.time, o.state)).collect()
+    }
+
+    /// Iterator over consecutive observation pairs — the "segments" whose
+    /// reachable (time, state) diamonds the UST-tree approximates.
+    pub fn segments(&self) -> impl Iterator<Item = (Observation, Observation)> + '_ {
+        self.observations.windows(2).map(|w| (w[0], w[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj() -> UncertainObject {
+        UncertainObject::from_pairs(7, vec![(0, 10), (5, 20), (10, 30)]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_observations() {
+        assert_eq!(UncertainObject::new(0, vec![]).unwrap_err(), ObservationError::Empty);
+        let err = UncertainObject::from_pairs(0, vec![(3, 1), (3, 2)]).unwrap_err();
+        assert_eq!(err, ObservationError::NotStrictlyIncreasing { index: 1 });
+        let err = UncertainObject::from_pairs(0, vec![(5, 1), (2, 2)]).unwrap_err();
+        assert_eq!(err, ObservationError::NotStrictlyIncreasing { index: 1 });
+        assert!(UncertainObject::from_pairs(0, vec![(5, 1)]).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let o = obj();
+        assert_eq!(o.id(), 7);
+        assert_eq!(o.num_observations(), 3);
+        assert_eq!(o.first_time(), 0);
+        assert_eq!(o.last_time(), 10);
+        assert_eq!(o.observation_pairs(), vec![(0, 10), (5, 20), (10, 30)]);
+    }
+
+    #[test]
+    fn coverage_checks() {
+        let o = obj();
+        assert!(o.covers(0));
+        assert!(o.covers(7));
+        assert!(o.covers(10));
+        assert!(!o.covers(11));
+        assert!(o.covers_interval(2, 8));
+        assert!(!o.covers_interval(2, 12));
+    }
+
+    #[test]
+    fn observed_state_lookup() {
+        let o = obj();
+        assert_eq!(o.observed_state_at(5), Some(20));
+        assert_eq!(o.observed_state_at(6), None);
+    }
+
+    #[test]
+    fn segments_are_consecutive_pairs() {
+        let o = obj();
+        let segs: Vec<_> = o.segments().collect();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].0.time, 0);
+        assert_eq!(segs[0].1.time, 5);
+        assert_eq!(segs[1].0.time, 5);
+        assert_eq!(segs[1].1.time, 10);
+    }
+}

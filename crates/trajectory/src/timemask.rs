@@ -1,0 +1,182 @@
+//! Compact bit sets over query timestamps.
+//!
+//! A probabilistic NN query is parameterised by a set of timestamps `T`
+//! (Definitions 1–3). The sampling-based query engine records, for every
+//! sampled possible world and every candidate object, *at which timestamps of
+//! `T` the object is a nearest neighbor*. [`TimeMask`] stores that information
+//! as a bit set indexed by position within `T`, which makes the aggregation of
+//! `P∃NN` (any bit set), `P∀NN` (all bits set) and the Apriori lattice of the
+//! PCNN query (subset containment) cheap bit operations.
+
+/// A fixed-length bit set indexed by `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TimeMask {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl TimeMask {
+    /// Creates an all-zero mask of the given length.
+    pub fn new(len: usize) -> Self {
+        TimeMask { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Creates an all-one mask of the given length.
+    pub fn full(len: usize) -> Self {
+        let mut m = Self::new(len);
+        for i in 0..len {
+            m.set(i);
+        }
+        m
+    }
+
+    /// Creates a mask with exactly the given indices set.
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds.
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut m = Self::new(len);
+        for i in indices {
+            m.set(i);
+        }
+        m
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask has zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether any bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Whether all `len` bits are set.
+    pub fn all(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Whether every set bit of `other` is also set in `self`
+    /// (i.e. `other ⊆ self`).
+    pub fn contains_all(&self, other: &TimeMask) -> bool {
+        debug_assert_eq!(self.len, other.len, "masks must have equal length");
+        self.words.iter().zip(&other.words).all(|(&a, &b)| b & !a == 0)
+    }
+
+    /// Indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+
+    /// In-place union with `other`.
+    pub fn union_with(&mut self, other: &TimeMask) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    pub fn intersect_with(&mut self, other: &TimeMask) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut m = TimeMask::new(70);
+        assert!(!m.get(0) && !m.get(69));
+        m.set(0);
+        m.set(69);
+        assert!(m.get(0) && m.get(69));
+        assert_eq!(m.count_ones(), 2);
+        m.clear(0);
+        assert!(!m.get(0));
+        assert_eq!(m.count_ones(), 1);
+    }
+
+    #[test]
+    fn full_and_all_any() {
+        let f = TimeMask::full(65);
+        assert!(f.all());
+        assert!(f.any());
+        assert_eq!(f.count_ones(), 65);
+        let e = TimeMask::new(65);
+        assert!(!e.any());
+        assert!(!e.all());
+        let zero = TimeMask::new(0);
+        assert!(zero.all(), "vacuous truth: an empty mask has all bits set");
+        assert!(!zero.any());
+    }
+
+    #[test]
+    fn subset_containment() {
+        let big = TimeMask::from_indices(10, [1, 3, 5, 7]);
+        let small = TimeMask::from_indices(10, [3, 7]);
+        let other = TimeMask::from_indices(10, [3, 8]);
+        assert!(big.contains_all(&small));
+        assert!(!big.contains_all(&other));
+        assert!(big.contains_all(&TimeMask::new(10)), "empty set is a subset of anything");
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = TimeMask::from_indices(8, [0, 1, 2]);
+        let b = TimeMask::from_indices(8, [2, 3]);
+        a.union_with(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        a.intersect_with(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        let mut m = TimeMask::new(4);
+        m.set(4);
+    }
+}

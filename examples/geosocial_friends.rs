@@ -1,0 +1,89 @@
+//! Geo-social network scenario: "for a historical event, users might want to
+//! find their nearest friends during this event, e.g. to share pictures and
+//! experiences" (Section 1).
+//!
+//! The query is a *trajectory* (the user's own check-in track during a city
+//! festival), not a static point; the database holds the sparse check-ins of
+//! the user's friends. The example answers:
+//!
+//! * which friend was most likely nearby during the whole event (P∀NNQ),
+//! * which friends were nearby at least once (P∃NNQ) under 3-NN semantics,
+//! * during which parts of the event each friend was nearby (PCNNQ).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example geosocial_friends
+//! ```
+
+use pnnq::prelude::*;
+
+fn main() {
+    // A city-like network and a database of friends with sparse check-ins.
+    let network_cfg = SyntheticNetworkConfig { num_states: 3_000, branching_factor: 8.0, seed: 21 };
+    let object_cfg = ObjectWorkloadConfig {
+        num_objects: 40,
+        lifetime: 90,
+        horizon: 120,
+        observation_interval: 15, // sparse check-ins
+        lag: 0.4,
+        standing_fraction: 0.05,
+        seed: 22,
+    };
+    let dataset = Dataset::synthetic(&network_cfg, &object_cfg, 1.0);
+    println!(
+        "{} friends with {} check-ins in total",
+        dataset.database.len(),
+        dataset.database.total_observations()
+    );
+
+    // The querying user's own (certain) track during the event: walk along the
+    // ground-truth trajectory of one generated object, offset slightly.
+    let me = dataset.ground_truth.values().next().expect("dataset is non-empty").clone();
+    let event_start = me.start() + 10;
+    let event_end = (event_start + 19).min(me.end());
+    let space = dataset.database.state_space().clone();
+    let track: Vec<(Timestamp, Point)> = (event_start..=event_end)
+        .map(|t| {
+            let p = me.position_at(t, &space).expect("track covers the event");
+            (t, Point::new(p.x + 0.002, p.y - 0.001))
+        })
+        .collect();
+    let query = Query::with_trajectory(track).unwrap();
+    println!("event window: tics {}..={} ({} timestamps)", event_start, event_end, query.len());
+
+    let engine = QueryEngine::new(&dataset.database, EngineConfig { num_samples: 2_000, seed: 3, ..Default::default() });
+
+    let forall = engine.pforall_nn(&query, 0.05).expect("query succeeds");
+    println!("\nfriends likely closest during the WHOLE event (P∀NN >= 0.05):");
+    for r in forall.results.iter().take(5) {
+        println!("  friend {:>3}: P∀NN = {:.3}", r.object, r.probability);
+    }
+    if forall.results.is_empty() {
+        println!("  (nobody stayed closest the whole time)");
+    }
+
+    // Under 3-NN semantics: who was among the three closest friends at least once?
+    let exists3 = engine.pexists_knn(&query, 3, 0.25).expect("query succeeds");
+    println!("\nfriends among the 3 closest at least once (P∃3NN >= 0.25):");
+    for r in exists3.results.iter().take(8) {
+        println!("  friend {:>3}: P∃3NN = {:.3}", r.object, r.probability);
+    }
+
+    let pcnn = engine.pcnn(&query, 0.3).expect("query succeeds");
+    println!("\nwhen was each friend nearby (PCNN, tau = 0.3)?");
+    for obj in pcnn.results.iter().take(5) {
+        let best = obj.sets.iter().max_by_key(|(ts, _)| ts.len()).unwrap();
+        println!(
+            "  friend {:>3}: longest qualifying set covers {} tics (P = {:.2})",
+            obj.object,
+            best.0.len(),
+            best.1
+        );
+    }
+    println!(
+        "\nfilter statistics: |C(q)| = {}, |I(q)| = {} of {} friends",
+        forall.stats.candidates,
+        forall.stats.influencers,
+        dataset.database.len()
+    );
+}

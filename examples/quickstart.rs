@@ -1,0 +1,99 @@
+//! Quickstart: build an uncertain trajectory database and answer probabilistic
+//! nearest-neighbor queries.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The example
+//! 1. generates a small synthetic network and a database of uncertain objects
+//!    (sparse observations of shortest-path motion),
+//! 2. builds the query engine (UST-tree pruning + forward-backward adaptation
+//!    + Monte-Carlo sampling),
+//! 3. answers a P∀NNQ, a P∃NNQ and a PCNNQ for a random query state, and
+//! 4. prints the results together with the filter statistics.
+
+use pnnq::prelude::*;
+
+fn main() {
+    // 1. Dataset: 2 000 states, branching factor 8, 150 uncertain objects.
+    let network_cfg = SyntheticNetworkConfig { num_states: 2_000, branching_factor: 8.0, seed: 1 };
+    let object_cfg = ObjectWorkloadConfig {
+        num_objects: 150,
+        lifetime: 60,
+        horizon: 200,
+        observation_interval: 10,
+        lag: 0.5,
+        standing_fraction: 0.0,
+        seed: 2,
+    };
+    println!("generating dataset ({} states, {} objects)...", network_cfg.num_states, object_cfg.num_objects);
+    let dataset = Dataset::synthetic(&network_cfg, &object_cfg, 1.0);
+    println!(
+        "  -> {} observations total, time horizon {:?}",
+        dataset.database.total_observations(),
+        dataset.database.time_horizon().unwrap()
+    );
+
+    // 2. Query engine: 2 000 sampled worlds per query.
+    let engine = QueryEngine::new(&dataset.database, EngineConfig { num_samples: 2_000, ..Default::default() });
+
+    // 3. A query state (uniformly drawn from the state space) and interval.
+    let workload = QueryWorkload::generate_covered(
+        &dataset.network,
+        &dataset.database,
+        &QueryWorkloadConfig { num_queries: 1, interval_length: 10, horizon: 200, seed: 7 },
+        3,
+    );
+    let spec = &workload.queries[0];
+    let query = Query::at_point(spec.location, spec.times.iter().copied()).unwrap();
+    println!(
+        "\nquery: location ({:.3}, {:.3}), T = [{}, {}]",
+        spec.location.x,
+        spec.location.y,
+        query.start(),
+        query.end()
+    );
+
+    // P∀NNQ: who is the nearest neighbor during the WHOLE interval?
+    let forall = engine.pforall_nn(&query, 0.05).expect("query succeeds");
+    println!(
+        "\nP∀NNQ (tau = 0.05): {} result(s); |C(q)| = {}, |I(q)| = {}",
+        forall.results.len(),
+        forall.stats.candidates,
+        forall.stats.influencers
+    );
+    for r in forall.results.iter().take(5) {
+        println!("  object {:>4}  P∀NN = {:.3}", r.object, r.probability);
+    }
+
+    // P∃NNQ: who is the nearest neighbor at SOME point of the interval?
+    let exists = engine.pexists_nn(&query, 0.05).expect("query succeeds");
+    println!("\nP∃NNQ (tau = 0.05): {} result(s)", exists.results.len());
+    for r in exists.results.iter().take(5) {
+        println!("  object {:>4}  P∃NN = {:.3}", r.object, r.probability);
+    }
+
+    // PCNNQ: for each object, during which sub-intervals is it the NN?
+    let pcnn = engine.pcnn(&query, 0.3).expect("query succeeds");
+    println!(
+        "\nPCNNQ (tau = 0.3): {} objects, {} qualifying timestamp sets",
+        pcnn.results.len(),
+        pcnn.total_result_sets()
+    );
+    for obj in pcnn.results.iter().take(3) {
+        let largest = obj.sets.iter().max_by_key(|(ts, _)| ts.len()).unwrap();
+        println!(
+            "  object {:>4}: largest qualifying set {:?} (P = {:.3})",
+            obj.object, largest.0, largest.1
+        );
+    }
+
+    println!(
+        "\nphase timings: adaptation {:.1} ms, sampling {:.1} ms ({} worlds)",
+        forall.stats.adaptation_time.as_secs_f64() * 1e3,
+        forall.stats.sampling_time.as_secs_f64() * 1e3,
+        forall.stats.worlds
+    );
+}

@@ -1,0 +1,47 @@
+//! # pnnq — Probabilistic Nearest Neighbor Queries on Uncertain Moving Object Trajectories
+//!
+//! A from-scratch Rust reproduction of Niedermayer, Züfle, Emrich, Renz,
+//! Mamoulis, Chen, Kriegel: *Probabilistic Nearest Neighbor Queries on
+//! Uncertain Moving Object Trajectories*, PVLDB 7(3), 2013.
+//!
+//! This facade crate re-exports the full public API of the workspace:
+//!
+//! * [`spatial`] — geometry, discrete state spaces and the R\*-tree,
+//! * [`markov`] — sparse Markov chains and the forward–backward model
+//!   adaptation (Algorithm 2),
+//! * [`trajectory`] — observations, uncertain objects, the trajectory
+//!   database and certain-world NN primitives,
+//! * [`sampling`] — rejection and a-posteriori trajectory samplers,
+//! * [`index`] — the UST-tree with `dmin`/`dmax` pruning,
+//! * [`core`] — the P∃NN / P∀NN / PCNN / kNN query semantics (sampling-based,
+//!   exact and snapshot evaluation),
+//! * [`generator`] — synthetic and simulated-taxi workload generators.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough and `DESIGN.md`
+//! for the architecture and the per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use ust_core as core;
+pub use ust_generator as generator;
+pub use ust_index as index;
+pub use ust_markov as markov;
+pub use ust_sampling as sampling;
+pub use ust_spatial as spatial;
+pub use ust_trajectory as trajectory;
+
+/// Commonly used types, re-exported for convenient glob imports.
+pub mod prelude {
+    pub use ust_core::{
+        EngineConfig, ObjectProbability, PcnnOutcome, Query, QueryEngine, QueryOutcome,
+    };
+    pub use ust_generator::{
+        Dataset, ObjectWorkloadConfig, QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig,
+        SyntheticNetworkConfig, TaxiWorkloadConfig,
+    };
+    pub use ust_index::UstTree;
+    pub use ust_markov::{AdaptedModel, CsrMatrix, MarkovModel, ModelAdaptation, Timestamp};
+    pub use ust_sampling::{PosteriorSampler, WorldSampler};
+    pub use ust_spatial::{Point, Rect2, Rect3, StateId, StateSpace};
+    pub use ust_trajectory::{ObjectId, Observation, Trajectory, TrajectoryDatabase, UncertainObject};
+}
