@@ -1,6 +1,6 @@
 //! Figure 11: precision of the probability estimates.
 //!
-//! The sampling approach of the paper (SA) and the snapshot competitor of [19]
+//! The sampling approach of the paper (SA) and the snapshot competitor of \[19\]
 //! (SS) are compared against a high-budget reference (REF). The paper shows SA
 //! hugging the diagonal of the scatter plot while SS systematically
 //! underestimates P∀NN and overestimates P∃NN. The harness prints the scatter

@@ -1,7 +1,7 @@
 //! Effectiveness experiments (Figures 11 and 12 of the paper).
 //!
 //! * **Figure 11** — precision of the probability estimates: the sampling
-//!   approach of the paper (SA) and the snapshot competitor [19] (SS) are
+//!   approach of the paper (SA) and the snapshot competitor \[19\] (SS) are
 //!   compared against reference probabilities (REF) obtained with a much
 //!   larger sample budget. The paper plots the estimates against the
 //!   reference as a scatter plot; the harness reports one row per

@@ -5,10 +5,10 @@
 //! measured series values (CPU times, candidate counts, error metrics, ...).
 //! Reports are printed as aligned text tables and can be serialised to JSON.
 
-use serde::Serialize;
+use crate::json::Json;
 
 /// One row of a report: an x-axis label plus named measured values.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// X-axis label (e.g. `"|S| = 10000"`).
     pub label: String,
@@ -35,7 +35,7 @@ impl Row {
 }
 
 /// A complete experiment report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentReport {
     /// Experiment identifier (e.g. `"figure06_vary_states"`).
     pub name: String,
@@ -95,9 +95,32 @@ impl ExperimentReport {
         print!("{}", self.to_table());
     }
 
-    /// Serialises the report to pretty JSON.
+    /// Serialises the report to pretty JSON. Rows become objects with the
+    /// row label under `"label"` and the series under a nested `"values"`
+    /// object (nesting keeps a series that is itself named `"label"` from
+    /// colliding with the row label).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let values = row
+                    .values
+                    .iter()
+                    .map(|(name, v)| (name.clone(), Json::Number(*v)))
+                    .collect();
+                Json::object([
+                    ("label", Json::String(row.label.clone())),
+                    ("values", Json::Object(values)),
+                ])
+            })
+            .collect();
+        Json::object([
+            ("name", Json::String(self.name.clone())),
+            ("description", Json::String(self.description.clone())),
+            ("rows", Json::Array(rows)),
+        ])
+        .to_pretty()
     }
 
     /// Writes the JSON report to a file if a path is given.
@@ -141,9 +164,22 @@ mod tests {
     #[test]
     fn json_roundtrip_contains_rows() {
         let json = sample().to_json();
-        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(value["name"], "fig_test");
-        assert_eq!(value["rows"].as_array().unwrap().len(), 2);
+        let value = Json::parse(&json).unwrap();
+        assert_eq!(*value.get("name"), "fig_test");
+        let rows = value.get("rows").as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(*rows[1].get("label"), "|S|=100k");
+        assert_eq!(*rows[1].get("values").get("TS"), 12.0);
+    }
+
+    #[test]
+    fn json_survives_a_series_named_label() {
+        let mut r = ExperimentReport::new("collision", "series named label");
+        r.push(Row::new("x0").with("label", 1.0));
+        let value = Json::parse(&r.to_json()).expect("no duplicate keys");
+        let row = &value.get("rows").as_array().unwrap()[0];
+        assert_eq!(*row.get("label"), "x0");
+        assert_eq!(*row.get("values").get("label"), 1.0);
     }
 
     #[test]

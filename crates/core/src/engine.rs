@@ -59,6 +59,10 @@ impl EngineConfig {
     }
 }
 
+/// Adapted a-posteriori models of a set of objects, as `(id, model)` pairs —
+/// the working set handed from the preparation ("TS") phase to the samplers.
+pub type AdaptedModels = Vec<(ObjectId, Arc<AdaptedModel>)>;
+
 /// The probabilistic NN query engine over one trajectory database.
 pub struct QueryEngine<'a> {
     db: &'a TrajectoryDatabase,
@@ -147,7 +151,7 @@ impl<'a> QueryEngine<'a> {
     pub fn prepare_objects(
         &self,
         ids: &[ObjectId],
-    ) -> Result<(Vec<(ObjectId, Arc<AdaptedModel>)>, Duration), QueryError> {
+    ) -> Result<(AdaptedModels, Duration), QueryError> {
         let start = Instant::now();
         let mut out = Vec::with_capacity(ids.len());
         for &id in ids {

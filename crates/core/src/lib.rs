@@ -29,7 +29,7 @@
 //! * [`exact`] — exponential possible-world enumeration, feasible only for
 //!   tiny instances; serves as the correctness reference (P∃NN is NP-hard,
 //!   Section 4.1).
-//! * [`snapshot`] — the competitor approach of [19] adapted to NN queries:
+//! * [`snapshot`] — the competitor approach of \[19\] adapted to NN queries:
 //!   per-timestamp probabilities combined under temporal independence. It is
 //!   biased (Figure 11); implemented for the effectiveness comparison.
 //! * [`effectiveness`] — the model-adaptation error study of Figure 12

@@ -6,7 +6,7 @@
 //! `P∀NN(o, q, T_i)` is *anti-monotone*: if `T_j ⊆ T_i` then
 //! `P∀NN(o, q, T_i) ≤ P∀NN(o, q, T_j)`. Algorithm 1 therefore explores the
 //! subset lattice level by level exactly like the Apriori frequent-itemset
-//! algorithm [27]: a `k`-subset is only generated (and validated) if all of
+//! algorithm \[27\]: a `k`-subset is only generated (and validated) if all of
 //! its `(k-1)`-subsets qualified.
 //!
 //! The validation step — estimating `P∀NN(o, q, T_k)` — uses the Monte-Carlo

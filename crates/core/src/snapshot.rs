@@ -1,7 +1,7 @@
-//! The snapshot-based competitor approach ([19], adapted to NN queries).
+//! The snapshot-based competitor approach (\[19\], adapted to NN queries).
 //!
 //! Section 7.1 ("Sampling Precision and Effectiveness") compares the paper's
-//! trajectory-aware sampling against the approach of Xu et al. [19], which
+//! trajectory-aware sampling against the approach of Xu et al. \[19\], which
 //! evaluates a *snapshot* query `P∀NNQ(q, D, {t}, τ)` at every timestamp and
 //! combines the per-timestamp probabilities under the (incorrect) assumption
 //! of temporal independence:
@@ -52,7 +52,10 @@ fn snapshot_nn_probabilities(
         }
     }
 
-    let mut alive: Vec<(ObjectId, DistanceDistribution, Vec<(f64, f64)>)> = Vec::new();
+    // One entry per object alive at `t`: its distance distribution plus the
+    // sorted `(distance, probability)` pairs it was built from.
+    type AliveEntry = (ObjectId, DistanceDistribution, Vec<(f64, f64)>);
+    let mut alive: Vec<AliveEntry> = Vec::new();
     for (id, model) in models {
         let Some(post) = model.posterior_at(t) else { continue };
         let mut pairs: Vec<(f64, f64)> = post

@@ -1,6 +1,6 @@
 //! # ust-index
 //!
-//! The UST-tree (Section 6 of the paper, originally introduced in [25]): a
+//! The UST-tree (Section 6 of the paper, originally introduced in \[25\]): a
 //! spatio-temporal index over uncertain trajectories used to prune the vast
 //! majority of database objects before any expensive probability computation.
 //!

@@ -12,6 +12,11 @@
 //!   benefit of exploiting transition sparsity (Section 5.2.3 derives the
 //!   `O(|T| · |S|²)` bound for the dense case).
 
+// The explicit `for i in 0..n` index loops below deliberately mirror the
+// paper's matrix equations (X'[i][j] = M[j][i] * belief[j], ...); iterator
+// rewrites would obscure the correspondence this module exists to provide.
+#![allow(clippy::needless_range_loop)]
+
 use crate::{StateId, Timestamp};
 
 /// A dense row-major matrix.

@@ -2,7 +2,7 @@
 //!
 //! The event "object `o` is a (∀/∃) nearest neighbor of `q`" is a Bernoulli
 //! random variable per sampled world; its probability is estimated by the
-//! sample mean. Hoeffding's inequality ([29] in the paper) bounds the
+//! sample mean. Hoeffding's inequality (\[29\] in the paper) bounds the
 //! estimation error: with `n` samples,
 //!
 //! ```text

@@ -25,7 +25,7 @@
 //!
 //! [`world::WorldSampler`] combines per-object samplers into possible worlds,
 //! and [`hoeffding`] provides the sample-size / confidence bounds the paper
-//! refers to ([29]).
+//! refers to (\[29\]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

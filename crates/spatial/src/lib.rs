@@ -15,7 +15,7 @@
 //! * [`StateSpace`] — the finite alphabet of possible locations, mapping
 //!   [`StateId`]s to points,
 //! * [`rtree::RTree`] — a from-scratch R*-tree ([Beckmann et al., SIGMOD 1990],
-//!   reference [31] of the paper) used as the secondary index underneath the
+//!   reference \[31\] of the paper) used as the secondary index underneath the
 //!   UST-tree.
 //!
 //! Everything in this crate is deterministic and purely geometric; all

@@ -5,10 +5,8 @@
 //! the taxi data). The distance function `d(x, y)` of Definitions 1–3 is the
 //! Euclidean distance between spatial points.
 
-use serde::{Deserialize, Serialize};
-
 /// A position in the two-dimensional Euclidean plane.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Horizontal coordinate (longitude-like axis).
     pub x: f64,

@@ -17,8 +17,8 @@ use crate::point::Point;
 
 /// An axis-aligned box in `D` dimensions, stored as per-axis `[min, max]`.
 ///
-/// (No serde derives here: serde cannot derive for const-generic arrays.
-/// Rectangles are derived data and are never part of a persisted dataset.)
+/// (Rectangles are derived data and are never part of a persisted dataset,
+/// so they have no serialisation support.)
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect<const D: usize> {
     /// Per-axis lower bounds.
@@ -96,8 +96,8 @@ impl<const D: usize> Rect<D> {
     #[inline]
     pub fn center(&self) -> [f64; D] {
         let mut c = [0.0; D];
-        for i in 0..D {
-            c[i] = 0.5 * (self.min[i] + self.max[i]);
+        for ((c, &lo), &hi) in c.iter_mut().zip(&self.min).zip(&self.max) {
+            *c = 0.5 * (lo + hi);
         }
         c
     }
@@ -126,9 +126,9 @@ impl<const D: usize> Rect<D> {
     /// Extends `self` in place to contain the point `p`.
     #[inline]
     pub fn extend_point(&mut self, p: &[f64; D]) {
-        for i in 0..D {
-            self.min[i] = self.min[i].min(p[i]);
-            self.max[i] = self.max[i].max(p[i]);
+        for ((lo, hi), &pi) in self.min.iter_mut().zip(self.max.iter_mut()).zip(p) {
+            *lo = lo.min(pi);
+            *hi = hi.max(pi);
         }
     }
 
@@ -176,11 +176,11 @@ impl<const D: usize> Rect<D> {
     #[inline]
     pub fn min_dist2_point(&self, p: &[f64; D]) -> f64 {
         let mut d2 = 0.0;
-        for i in 0..D {
-            let d = if p[i] < self.min[i] {
-                self.min[i] - p[i]
-            } else if p[i] > self.max[i] {
-                p[i] - self.max[i]
+        for ((&pi, &lo), &hi) in p.iter().zip(&self.min).zip(&self.max) {
+            let d = if pi < lo {
+                lo - pi
+            } else if pi > hi {
+                pi - hi
             } else {
                 0.0
             };
@@ -193,8 +193,8 @@ impl<const D: usize> Rect<D> {
     #[inline]
     pub fn max_dist2_point(&self, p: &[f64; D]) -> f64 {
         let mut d2 = 0.0;
-        for i in 0..D {
-            let d = (p[i] - self.min[i]).abs().max((p[i] - self.max[i]).abs());
+        for ((&pi, &lo), &hi) in p.iter().zip(&self.min).zip(&self.max) {
+            let d = (pi - lo).abs().max((pi - hi).abs());
             d2 += d * d;
         }
         d2

@@ -1,8 +1,8 @@
 //! A from-scratch R*-tree.
 //!
-//! The UST-tree (Section 6, reference [25] of the paper) indexes the
+//! The UST-tree (Section 6, reference \[25\] of the paper) indexes the
 //! rectangular approximations of uncertain trajectories "using an R*-tree
-//! [31]". This module implements that substrate: an in-memory R*-tree
+//! \[31\]". This module implements that substrate: an in-memory R*-tree
 //! [Beckmann, Kriegel, Schneider, Seeger, SIGMOD 1990] with
 //!
 //! * recursive insertion with the R* *choose-subtree* rule (minimum overlap

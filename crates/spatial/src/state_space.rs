@@ -9,7 +9,6 @@
 
 use crate::point::Point;
 use crate::rect::Rect2;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a discrete state (location) in the state space.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 pub type StateId = u32;
 
 /// The discrete set of possible locations `S = {s_1, ..., s_|S|}`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StateSpace {
     positions: Vec<Point>,
 }

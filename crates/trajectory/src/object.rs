@@ -1,14 +1,13 @@
 //! Observations and uncertain moving objects.
 
 use crate::{StateId, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a moving object in the trajectory database.
 pub type ObjectId = u32;
 
 /// One observation `(t, θ)`: object was certainly at state `θ` at time `t`
 /// (Section 3.1 — "the location of an observation is assumed to be certain").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Observation {
     /// Observation time.
     pub time: Timestamp,
@@ -50,7 +49,7 @@ impl std::error::Error for ObservationError {}
 
 /// An uncertain moving object: an identifier plus its chronologically sorted
 /// observations. Everything in between the observations is uncertain.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UncertainObject {
     id: ObjectId,
     observations: Vec<Observation>,

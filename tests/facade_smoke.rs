@@ -1,0 +1,119 @@
+//! Smoke test of the `pnnq` facade: the `prelude` re-exports must resolve,
+//! and a tiny hand-built two-object fixture must answer a P∃NN query through
+//! the full `QueryEngine` pipeline (UST-tree filter → model adaptation →
+//! possible-world sampling).
+//!
+//! This guards the workspace wiring (the facade's `pub use` graph and the
+//! inter-crate manifests) rather than algorithmic behavior, which
+//! `tests/properties.rs` and `tests/example1_paper.rs` cover.
+
+use pnnq::prelude::*;
+use std::sync::Arc;
+
+/// Every name exported by `pnnq::prelude` must resolve. Mentioning each type
+/// once makes a broken re-export a compile error of this test.
+#[test]
+fn prelude_reexports_resolve() {
+    // ust-spatial.
+    let p: Point = Point::new(0.25, 0.75);
+    let _: Rect2 = Rect2::new([0.0, 0.0], [1.0, 1.0]);
+    let _: Rect3 = Rect3::new([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]);
+    let space: StateSpace = StateSpace::from_points(vec![p]);
+    let _: StateId = 0;
+
+    // ust-markov.
+    let matrix: CsrMatrix = CsrMatrix::stochastic_from_weights(vec![vec![(0, 1.0)]]);
+    let model: MarkovModel = MarkovModel::homogeneous(matrix);
+    let _: Timestamp = 0;
+    let adapted: AdaptedModel =
+        AdaptedModel::build(&model, &[(0, 0), (2, 0)]).expect("trivial chain adapts");
+    let _: &dyn std::any::Any = &adapted; // silence unused; type already checked
+
+    // ust-trajectory.
+    let _: Observation = Observation::new(0, 0);
+    let object: UncertainObject = UncertainObject::from_pairs(7 as ObjectId, [(0, 0), (2, 0)])
+        .expect("strictly increasing observation times");
+    let _: Trajectory = Trajectory::new(0, vec![0, 0, 0]);
+    let db: TrajectoryDatabase = TrajectoryDatabase::with_objects(
+        Arc::new(space),
+        Arc::new(model),
+        vec![object],
+    );
+
+    // ust-sampling / ust-index.
+    let _: PosteriorSampler<'_> = PosteriorSampler::new(&adapted);
+    let _: UstTree = UstTree::build(&db);
+
+    // ust-core (+ generator config types).
+    let _: EngineConfig = EngineConfig::default();
+    let _: Query = Query::at_point(Point::new(0.0, 0.0), [0, 1]).expect("non-empty times");
+    let _ = |o: QueryOutcome| -> (Vec<ObjectProbability>, usize) { (o.results, o.stats.worlds) };
+    let _ = |o: PcnnOutcome| o.total_result_sets();
+    let _ = |w: QueryWorkload| w.queries.len();
+    let _: QueryWorkloadConfig =
+        QueryWorkloadConfig { num_queries: 1, interval_length: 2, horizon: 4, seed: 0 };
+    let _: SyntheticNetworkConfig =
+        SyntheticNetworkConfig { num_states: 4, branching_factor: 2.0, seed: 0 };
+    let _ = |c: ObjectWorkloadConfig| c.num_objects;
+    let _ = |c: RoadNetworkConfig| c.jitter;
+    let _ = |c: TaxiWorkloadConfig| c.seed;
+    let _ = |d: Dataset| d.database.len();
+    let _ = |m: ModelAdaptation| m;
+    let _ = |s: WorldSampler| s;
+}
+
+/// Two objects on a 3-state line; the query sits on object 0's observed
+/// state. P∃NN through the engine must strongly favour object 0, and the
+/// P∃ / P∀ ordering invariant must hold.
+#[test]
+fn two_object_pexists_query_end_to_end() {
+    // States 0, 1, 2 at x = 0, 1, 2 on a line.
+    let space = Arc::new(StateSpace::from_points(vec![
+        Point::new(0.0, 0.0),
+        Point::new(1.0, 0.0),
+        Point::new(2.0, 0.0),
+    ]));
+    // Random walk: stay or step to a neighbor, uniformly.
+    let matrix = CsrMatrix::stochastic_from_weights(vec![
+        vec![(0, 1.0), (1, 1.0)],
+        vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+        vec![(1, 1.0), (2, 1.0)],
+    ]);
+    let model = Arc::new(MarkovModel::homogeneous(matrix));
+
+    // Object 0 pinned near state 0, object 1 pinned near state 2, over [0, 4].
+    let objects = vec![
+        UncertainObject::from_pairs(0, [(0, 0), (4, 0)]).unwrap(),
+        UncertainObject::from_pairs(1, [(0, 2), (4, 2)]).unwrap(),
+    ];
+    let db = TrajectoryDatabase::with_objects(space, model, objects);
+
+    let engine = QueryEngine::new(&db, EngineConfig { num_samples: 400, ..Default::default() });
+    let query = Query::at_point(Point::new(0.0, 0.0), [1, 2, 3]).unwrap();
+
+    let exists = engine.pexists_nn(&query, 0.0).expect("query succeeds");
+    assert_eq!(exists.stats.worlds, 400);
+    assert!(
+        exists.probability_of(0) > 0.9,
+        "object 0 observed at the query point should almost surely be a sometime-NN, got {}",
+        exists.probability_of(0)
+    );
+    assert!(exists.probability_of(0) <= 1.0 + 1e-9);
+
+    // ∀ ⊆ ∃: for each object the ∀-probability cannot exceed the ∃-probability.
+    let forall = engine.pforall_nn(&query, 0.0).expect("query succeeds");
+    for r in &forall.results {
+        assert!(
+            r.probability <= exists.probability_of(r.object) + 1e-9,
+            "object {}: P∀ {} > P∃ {}",
+            r.object,
+            r.probability,
+            exists.probability_of(r.object)
+        );
+    }
+
+    // Determinism: the engine seeds its sampler from EngineConfig::seed.
+    let again = engine.pexists_nn(&query, 0.0).expect("query succeeds");
+    assert_eq!(again.probability_of(0), exists.probability_of(0));
+    assert_eq!(again.probability_of(1), exists.probability_of(1));
+}

@@ -1,0 +1,121 @@
+//! Offline, API-compatible subset of the
+//! [`rustc-hash`](https://crates.io/crates/rustc-hash) crate.
+//!
+//! Provides [`FxHashMap`] / [`FxHashSet`] type aliases over a fast,
+//! non-cryptographic multiply-xor hasher. The workspace keys these maps by
+//! small integers ([`u32`] state and object identifiers), for which a
+//! single-multiply finisher is both faster than SipHash and perfectly
+//! adequate: the inputs are not attacker-controlled.
+//!
+//! The hash function is a Fibonacci-style multiplicative mix, not the exact
+//! polynomial of upstream `rustc-hash` — only the *API* is mirrored, iteration
+//! order of the maps may differ from upstream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Golden-ratio multiplier used by the Fibonacci mixing step.
+const PHI64: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A fast non-cryptographic hasher for trusted, mostly-integer keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        // Rotate-xor-multiply: cheap, and the final multiply diffuses low
+        // bits into the high bits that HashMap's modulo discards least.
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(PHI64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One extra avalanche round so sequential integer keys do not land
+        // in sequential buckets.
+        let mut z = self.state;
+        z ^= z >> 32;
+        z = z.wrapping_mul(PHI64);
+        z ^ (z >> 29)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_roundtrip() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(1, "a");
+        map.insert(2, "b");
+        assert_eq!(map.get(&1), Some(&"a"));
+        let set: FxHashSet<u32> = (0..100).collect();
+        assert_eq!(set.len(), 100);
+        assert!(set.contains(&42));
+    }
+
+    #[test]
+    fn sequential_keys_spread() {
+        // The low bits (what HashMap buckets use) must differ across
+        // sequential keys.
+        use std::hash::BuildHasher;
+        let build = FxBuildHasher::default();
+        let mut low_bits: FxHashSet<u64> = FxHashSet::default();
+        for k in 0u32..64 {
+            low_bits.insert(build.hash_one(k) & 0x3F);
+        }
+        // With 64 keys into 64 low-bit slots, a decent hash hits many slots.
+        assert!(low_bits.len() > 32, "only {} distinct low-bit patterns", low_bits.len());
+    }
+}
