@@ -2,9 +2,15 @@
 //!
 //! Compares the production sparse implementation against the literal dense
 //! transcription of the paper's pseudo-code (the `O(|T| · |S|²)` formulation),
-//! and measures the sparse adaptation on a realistic synthetic network object.
+//! measures the sparse adaptation on a realistic synthetic network object, and
+//! measures the full-database TS phase (`QueryEngine::prepare_all`) across the
+//! `adaptation_threads` axis — the speedup of the parallel fan-out over the
+//! serial loop on the fig06/quickstart scale (150 objects).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ust_bench::datasets::{build_synthetic, ScaleParams};
+use ust_bench::RunScale;
+use ust_core::{EngineConfig, QueryEngine};
 use ust_generator::{ObjectWorkloadConfig, SyntheticNetworkConfig};
 use ust_markov::dense::{adapt_dense, DenseMatrix};
 use ust_markov::{AdaptedModel, CsrMatrix, MarkovModel, StateId};
@@ -71,5 +77,27 @@ fn bench_synthetic_object(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sparse_vs_dense, bench_synthetic_object);
+fn bench_prepare_all_threads(c: &mut Criterion) {
+    // The fig06 default / quickstart scale: 2 000 states, 150 objects.
+    let params = ScaleParams::for_scale(RunScale::Quick);
+    let dataset = build_synthetic(&params, 2_000, params.branching, 150, 1);
+    let mut group = c.benchmark_group("adaptation_prepare_all");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let engine = QueryEngine::new(
+            &dataset.database,
+            // No UST-tree: this benchmark isolates the TS phase.
+            EngineConfig { use_index: false, adaptation_threads: threads, ..Default::default() },
+        );
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                engine.clear_model_cache();
+                engine.prepare_all().expect("adaptation succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_vs_dense, bench_synthetic_object, bench_prepare_all_threads);
 criterion_main!(benches);

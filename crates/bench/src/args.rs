@@ -20,11 +20,17 @@ pub struct RunSettings {
     pub json_path: Option<String>,
     /// RNG seed override.
     pub seed: u64,
+    /// Worker threads of the model-adaptation ("TS") phase: `None` if
+    /// `--threads` was not given (each binary picks its own default — the
+    /// paper-series figures default to serial, fig06/fig12 to auto),
+    /// `Some(0)` = explicitly requested available parallelism, `Some(n)` = a
+    /// fixed count.
+    pub adaptation_threads: Option<usize>,
 }
 
 impl Default for RunSettings {
     fn default() -> Self {
-        RunSettings { scale: RunScale::Default, json_path: None, seed: 0 }
+        RunSettings { scale: RunScale::Default, json_path: None, seed: 0, adaptation_threads: None }
     }
 }
 
@@ -52,6 +58,10 @@ impl RunSettings {
                     Some(seed) => settings.seed = seed,
                     None => usage_and_exit("--seed requires an integer argument"),
                 },
+                "--threads" => match iter.next().and_then(|s| s.parse().ok()) {
+                    Some(threads) => settings.adaptation_threads = Some(threads),
+                    None => usage_and_exit("--threads requires an integer argument (0 = auto)"),
+                },
                 "--help" | "-h" => usage_and_exit(""),
                 other => usage_and_exit(&format!("unknown argument: {other}")),
             }
@@ -64,7 +74,9 @@ fn usage_and_exit(message: &str) -> ! {
     if !message.is_empty() {
         eprintln!("error: {message}");
     }
-    eprintln!("usage: <figure binary> [--quick | --paper-scale] [--seed N] [--json <path>]");
+    eprintln!(
+        "usage: <figure binary> [--quick | --paper-scale] [--seed N] [--threads N] [--json <path>]"
+    );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
 
@@ -95,5 +107,16 @@ mod tests {
         let s = parse(&["--json", "/tmp/out.json", "--seed", "42"]);
         assert_eq!(s.json_path.as_deref(), Some("/tmp/out.json"));
         assert_eq!(s.seed, 42);
+        assert_eq!(s.adaptation_threads, None, "absent flag stays distinguishable");
+    }
+
+    #[test]
+    fn threads_flag() {
+        assert_eq!(parse(&["--threads", "4"]).adaptation_threads, Some(4));
+        assert_eq!(
+            parse(&["--threads", "0"]).adaptation_threads,
+            Some(0),
+            "an explicit 0 (= auto) is distinct from the flag being absent"
+        );
     }
 }

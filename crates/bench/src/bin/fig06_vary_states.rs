@@ -2,16 +2,22 @@
 //!
 //! Paper sweep: N ∈ {10k, 100k, 500k}. Default harness sweep: a proportional
 //! reduction (see DESIGN.md §3). Reported series: CPU time of the adaptation
-//! phase (TS), of the P∀NNQ sampling (FA) and of the P∃NNQ sampling (EX), plus
-//! the candidate and influence set sizes |C(q)| and |I(q)|.
+//! phase — serially (`TS1`) and fanned out across the configured worker
+//! threads (`TSp`, `--threads N`, `0` = available parallelism) — of the
+//! P∀NNQ sampling (FA) and of the P∃NNQ sampling (EX), plus the candidate and
+//! influence set sizes |C(q)| and |I(q)| and the per-query cold adaptation
+//! count. The `TS1/TSp` ratio is the measured TS-phase speedup.
 
 use ust_bench::datasets::{build_queries, build_synthetic, ScaleParams};
-use ust_bench::efficiency::measure_efficiency;
+use ust_bench::efficiency::{measure_efficiency_on, measure_ts_phase};
 use ust_bench::{ExperimentReport, Row, RunScale, RunSettings};
+use ust_core::prepare::resolve_adaptation_threads;
+use ust_core::{EngineConfig, QueryEngine};
 
 fn main() {
     let settings = RunSettings::from_env();
     let params = ScaleParams::for_scale(settings.scale);
+    let threads = resolve_adaptation_threads(settings.adaptation_threads.unwrap_or(0));
     let sweep: Vec<usize> = match settings.scale {
         RunScale::Quick => vec![1_000, 2_000, 4_000],
         RunScale::Default => vec![2_000, 10_000, 50_000],
@@ -20,20 +26,38 @@ fn main() {
     let mut report = ExperimentReport::new(
         "figure06_vary_states",
         "Efficiency of P∀NNQ/P∃NNQ while varying the number of states N \
-         (paper: Figure 6; series TS/FA/EX in seconds, |C(q)|/|I(q)| in objects)",
-    );
+         (paper: Figure 6; series TS1 = serial adaptation, TSp = adaptation \
+         with the configured thread count, speedup = TS1/TSp, FA/EX in \
+         seconds, |C(q)|/|I(q)| in objects, cold = adaptations per query)",
+    )
+    .with_meta("adaptation_threads", threads as f64);
     for n in sweep {
-        eprintln!("[fig06] N = {n}");
+        eprintln!("[fig06] N = {n} (TS threads: {threads})");
         let dataset = build_synthetic(&params, n, params.branching, params.num_objects, settings.seed);
         let queries = build_queries(&dataset, &params, settings.seed);
-        let m = measure_efficiency(&dataset, &queries, params.num_samples, settings.seed);
+        // One engine (and one UST-tree build) serves both measurements: the
+        // serial TS baseline first — no Monte-Carlo refinement — then the
+        // full parallel measurement.
+        let config = EngineConfig {
+            num_samples: params.num_samples,
+            seed: settings.seed,
+            adaptation_threads: threads,
+            ..Default::default()
+        };
+        let engine = QueryEngine::new(&dataset.database, config);
+        let ts_serial = measure_ts_phase(&engine, &queries, 1);
+        let m = measure_efficiency_on(&engine, &queries);
+        let speedup = if m.ts_seconds > 0.0 { ts_serial / m.ts_seconds } else { 1.0 };
         report.push(
             Row::new(format!("|S|={n}"))
-                .with("TS", m.ts_seconds)
+                .with("TS1", ts_serial)
+                .with("TSp", m.ts_seconds)
+                .with("speedup", speedup)
                 .with("FA", m.fa_seconds)
                 .with("EX", m.ex_seconds)
                 .with("|C(q)|", m.candidates)
-                .with("|I(q)|", m.influencers),
+                .with("|I(q)|", m.influencers)
+                .with("cold", m.cold_adaptations),
         );
     }
     report.print();

@@ -6,21 +6,29 @@
 use ust_bench::datasets::{build_queries, build_synthetic, ScaleParams};
 use ust_bench::efficiency::measure_efficiency;
 use ust_bench::{ExperimentReport, Row, RunSettings};
+use ust_core::prepare::resolve_adaptation_threads;
 
 fn main() {
     let settings = RunSettings::from_env();
     let params = ScaleParams::for_scale(settings.scale);
+    // The paper's TS series is a *serial* adaptation time, so this figure
+    // defaults to one TS worker for comparability across machines; parallel
+    // adaptation is opt-in via `--threads N` (`0` = available parallelism),
+    // recorded in the report meta. fig06 reports the serial/parallel split
+    // explicitly.
+    let threads = settings.adaptation_threads.map_or(1, resolve_adaptation_threads);
     let mut report = ExperimentReport::new(
         "figure07_vary_branching",
         "Efficiency of P∀NNQ/P∃NNQ while varying the branching factor b \
          (paper: Figure 7; series TS/FA/EX in seconds, |C(q)|/|I(q)| in objects)",
-    );
+    )
+    .with_meta("adaptation_threads", threads as f64);
     for b in [6.0, 8.0, 10.0] {
         eprintln!("[fig07] b = {b}");
         let dataset =
             build_synthetic(&params, params.num_states, b, params.num_objects, settings.seed);
         let queries = build_queries(&dataset, &params, settings.seed);
-        let m = measure_efficiency(&dataset, &queries, params.num_samples, settings.seed);
+        let m = measure_efficiency(&dataset, &queries, params.num_samples, settings.seed, threads);
         report.push(
             Row::new(format!("b={b}"))
                 .with("TS", m.ts_seconds)

@@ -10,10 +10,17 @@
 use ust_bench::datasets::{build_queries, build_taxi, ScaleParams};
 use ust_bench::efficiency::measure_efficiency;
 use ust_bench::{ExperimentReport, Row, RunScale, RunSettings};
+use ust_core::prepare::resolve_adaptation_threads;
 
 fn main() {
     let settings = RunSettings::from_env();
     let params = ScaleParams::for_scale(settings.scale);
+    // The paper's TS series is a *serial* adaptation time, so this figure
+    // defaults to one TS worker for comparability across machines; parallel
+    // adaptation is opt-in via `--threads N` (`0` = available parallelism),
+    // recorded in the report meta. fig06 reports the serial/parallel split
+    // explicitly.
+    let threads = settings.adaptation_threads.map_or(1, resolve_adaptation_threads);
     let sweep: Vec<usize> = match settings.scale {
         RunScale::Quick => vec![50, 100, 200],
         RunScale::Default => vec![250, 1_000, 4_000],
@@ -23,12 +30,13 @@ fn main() {
         "figure09_realdata_vary_objects",
         "Efficiency of P∀NNQ/P∃NNQ on the simulated taxi road network while varying |D| \
          (paper: Figure 9; series TS/FA/EX in seconds, |C(q)|/|I(q)| in objects)",
-    );
+    )
+    .with_meta("adaptation_threads", threads as f64);
     for d in sweep {
         eprintln!("[fig09] |D| = {d}");
         let dataset = build_taxi(&params, d, settings.seed);
         let queries = build_queries(&dataset, &params, settings.seed);
-        let m = measure_efficiency(&dataset, &queries, params.num_samples, settings.seed);
+        let m = measure_efficiency(&dataset, &queries, params.num_samples, settings.seed, threads);
         report.push(
             Row::new(format!("|D|={d}"))
                 .with("TS", m.ts_seconds)

@@ -12,10 +12,12 @@
 use ust_bench::datasets::{build_taxi, ScaleParams};
 use ust_bench::effectiveness::measure_model_error;
 use ust_bench::{ExperimentReport, RunScale, RunSettings};
+use ust_core::prepare::resolve_adaptation_threads;
 
 fn main() {
     let settings = RunSettings::from_env();
     let params = ScaleParams::for_scale(settings.scale);
+    let threads = resolve_adaptation_threads(settings.adaptation_threads.unwrap_or(0));
     let (num_objects, max_evaluated) = match settings.scale {
         RunScale::Quick => (60, 30),
         RunScale::Default => (400, 150),
@@ -23,13 +25,18 @@ fn main() {
     };
     eprintln!("[fig12] building simulated taxi dataset ({num_objects} taxis)");
     let dataset = build_taxi(&params, num_objects, settings.seed);
-    let rows = measure_model_error(&dataset, max_evaluated);
+    eprintln!("[fig12] evaluating {max_evaluated} objects ({threads} adaptation threads)");
+    let start = std::time::Instant::now();
+    let rows = measure_model_error(&dataset, max_evaluated, threads);
+    let elapsed = start.elapsed();
     let mut report = ExperimentReport::new(
         "figure12_model_adaptation_error",
         "Mean prediction error (expected distance to the held-out true position) per offset \
          within the observation gap, for the model variants NO/F/FB/U/FBU \
          (paper: Figure 12, simulated taxi data)",
-    );
+    )
+    .with_meta("adaptation_threads", threads as f64)
+    .with_meta("evaluation_seconds", elapsed.as_secs_f64());
     for row in rows {
         report.push(row);
     }

@@ -144,7 +144,13 @@ pub fn measure_estimate_precision(
 /// offset within the observation gap (error is zero at observations and peaks
 /// in the middle of the gap). Returns one [`Row`] per offset with one column
 /// per variant.
-pub fn measure_model_error(dataset: &Dataset, max_objects: usize) -> Vec<Row> {
+///
+/// Each object's evaluation is independent (it runs five model adaptations),
+/// so the per-object work fans out across `threads` scoped workers (`0` =
+/// available parallelism). Per-object error samples are folded serially in
+/// object order afterwards, so the reported means are bit-identical for every
+/// thread count.
+pub fn measure_model_error(dataset: &Dataset, max_objects: usize, threads: usize) -> Vec<Row> {
     let space = dataset.database.state_space();
     let gap = dataset
         .database
@@ -152,25 +158,35 @@ pub fn measure_model_error(dataset: &Dataset, max_objects: usize) -> Vec<Row> {
         .first()
         .and_then(|o| o.segments().next().map(|(a, b)| b.time - a.time))
         .unwrap_or(1) as usize;
+    let objects = &dataset.database.objects()[..max_objects.min(dataset.database.objects().len())];
+    // Per-object error samples `(variant, gap offset, error)`.
+    type ErrorSamples = Vec<(&'static str, usize, f64)>;
+    let evaluate = |object: &ust_trajectory::UncertainObject| {
+        let mut samples: ErrorSamples = Vec::new();
+        let Some(truth) = dataset.ground_truth_of(object.id()) else { return samples };
+        let model = dataset.database.model_for(object.id());
+        let start = object.first_time();
+        for &variant in &ModelVariant::ALL {
+            let Ok(series) = evaluate_variant(model, object, truth, space, variant) else {
+                continue;
+            };
+            for (t, err) in series.errors {
+                samples.push((variant.label(), ((t - start) as usize) % gap.max(1), err));
+            }
+        }
+        samples
+    };
+    let partials = ust_core::prepare::parallel_map_ordered(objects, threads, evaluate);
     // accumulated[variant][offset] = (sum of errors, count)
     let mut accumulated: FxHashMap<&'static str, Vec<(f64, usize)>> = ModelVariant::ALL
         .iter()
         .map(|v| (v.label(), vec![(0.0, 0usize); gap.max(1)]))
         .collect();
-    for object in dataset.database.objects().iter().take(max_objects) {
-        let Some(truth) = dataset.ground_truth_of(object.id()) else { continue };
-        let model = dataset.database.model_for(object.id());
-        for &variant in &ModelVariant::ALL {
-            let Ok(series) = evaluate_variant(model, object, truth, space, variant) else {
-                continue;
-            };
-            let start = object.first_time();
-            let acc = accumulated.get_mut(variant.label()).expect("all variants present");
-            for (t, err) in series.errors {
-                let offset = ((t - start) as usize) % gap.max(1);
-                acc[offset].0 += err;
-                acc[offset].1 += 1;
-            }
+    for samples in partials {
+        for (label, offset, err) in samples {
+            let acc = accumulated.get_mut(label).expect("all variants present");
+            acc[offset].0 += err;
+            acc[offset].1 += 1;
         }
     }
     (0..gap.max(1))
@@ -217,9 +233,27 @@ mod tests {
     }
 
     #[test]
+    fn model_error_is_identical_for_any_thread_count() {
+        let (ds, _) = tiny_dataset();
+        let serial = measure_model_error(&ds, 8, 1);
+        let parallel = measure_model_error(&ds, 8, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.label, b.label);
+            for &variant in &ModelVariant::ALL {
+                assert_eq!(
+                    a.value(variant.label()),
+                    b.value(variant.label()),
+                    "fan-out must not change the fold order of the error sums"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn model_error_rows_cover_the_observation_gap() {
         let (ds, _) = tiny_dataset();
-        let rows = measure_model_error(&ds, 10);
+        let rows = measure_model_error(&ds, 10, 0);
         assert_eq!(rows.len(), 10, "observation interval of the quick scale is 10 tics");
         for row in &rows {
             for &variant in &ModelVariant::ALL {

@@ -17,7 +17,8 @@ use ust_generator::{Dataset, QueryWorkload};
 /// Averaged efficiency measurements over a query workload.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EfficiencyOutcome {
-    /// Mean model-adaptation time per query, seconds.
+    /// Mean model-adaptation time per query, seconds (cold adaptations only —
+    /// warm cache lookups are excluded by the engine).
     pub ts_seconds: f64,
     /// Mean P∀NNQ sampling/refinement time per query, seconds.
     pub fa_seconds: f64,
@@ -27,6 +28,11 @@ pub struct EfficiencyOutcome {
     pub candidates: f64,
     /// Mean influence-set size `|I(q)|`.
     pub influencers: f64,
+    /// Mean number of influence objects answered from the model cache per
+    /// P∀NNQ evaluation.
+    pub cache_hits: f64,
+    /// Mean number of cold forward–backward adaptations per P∀NNQ evaluation.
+    pub cold_adaptations: f64,
     /// Number of queries measured.
     pub queries: usize,
 }
@@ -34,15 +40,24 @@ pub struct EfficiencyOutcome {
 /// Runs the P∀NNQ / P∃NNQ efficiency measurement over a query workload.
 ///
 /// `tau = 0` is used, as in the paper's efficiency experiments, so that no
-/// result is cut off by the threshold.
+/// result is cut off by the threshold. `adaptation_threads` is handed to the
+/// engine's TS phase (`0` = available parallelism, `1` = the serial loop).
 pub fn measure_efficiency(
     dataset: &Dataset,
     workload: &QueryWorkload,
     num_samples: usize,
     seed: u64,
+    adaptation_threads: usize,
 ) -> EfficiencyOutcome {
-    let config = EngineConfig { num_samples, seed, ..Default::default() };
+    let config = EngineConfig { num_samples, seed, adaptation_threads, ..Default::default() };
     let engine = QueryEngine::new(&dataset.database, config);
+    measure_efficiency_on(&engine, workload)
+}
+
+/// [`measure_efficiency`] over an existing engine (so the UST-tree built at
+/// engine construction can be shared with other measurements on the same
+/// dataset). The model cache is cleared before every P∀NNQ.
+pub fn measure_efficiency_on(engine: &QueryEngine, workload: &QueryWorkload) -> EfficiencyOutcome {
     let mut out = EfficiencyOutcome::default();
     for spec in &workload.queries {
         let query = Query::at_point(spec.location, spec.times.iter().copied())
@@ -57,6 +72,8 @@ pub fn measure_efficiency(
         out.ex_seconds += exists.stats.sampling_time.as_secs_f64();
         out.candidates += forall.stats.candidates as f64;
         out.influencers += forall.stats.influencers as f64;
+        out.cache_hits += forall.stats.cache_hits as f64;
+        out.cold_adaptations += forall.stats.cold_adaptations as f64;
         out.queries += 1;
     }
     if out.queries > 0 {
@@ -66,8 +83,41 @@ pub fn measure_efficiency(
         out.ex_seconds /= n;
         out.candidates /= n;
         out.influencers /= n;
+        out.cache_hits /= n;
+        out.cold_adaptations /= n;
     }
     out
+}
+
+/// Measures *only* the TS phase over a query workload: per query, the cache
+/// is cleared and the influence set's models are adapted cold with the given
+/// thread count; no possible world is sampled. Returns the mean cold
+/// adaptation time per query in seconds, and leaves the engine's model cache
+/// cleared.
+///
+/// `fig06` uses this for its serial baseline column (`TS1`) on the *same*
+/// engine as the parallel measurement, so neither the UST-tree build nor the
+/// Monte-Carlo refinement runs twice per sweep point.
+pub fn measure_ts_phase(engine: &QueryEngine, workload: &QueryWorkload, threads: usize) -> f64 {
+    let mut total = 0.0;
+    let mut queries = 0usize;
+    for spec in &workload.queries {
+        let query = Query::at_point(spec.location, spec.times.iter().copied())
+            .expect("workload queries are well-formed");
+        let (_, influencers) = engine.filter(&query).expect("filter succeeds");
+        engine.clear_model_cache();
+        let outcome = engine
+            .prepare_objects_with_threads(&influencers, threads)
+            .expect("adaptation succeeds");
+        total += outcome.cold_time.as_secs_f64();
+        queries += 1;
+    }
+    engine.clear_model_cache();
+    if queries > 0 {
+        total / queries as f64
+    } else {
+        0.0
+    }
 }
 
 #[cfg(test)]
@@ -82,11 +132,40 @@ mod tests {
         params.num_queries = 2;
         let ds = build_synthetic(&params, 600, 8.0, 40, 3);
         let queries = build_queries(&ds, &params, 3);
-        let outcome = measure_efficiency(&ds, &queries, 50, 3);
+        let outcome = measure_efficiency(&ds, &queries, 50, 3, 1);
         assert_eq!(outcome.queries, 2);
         assert!(outcome.ts_seconds >= 0.0);
         assert!(outcome.fa_seconds > 0.0);
         assert!(outcome.ex_seconds > 0.0);
         assert!(outcome.influencers >= outcome.candidates);
+        // The cache is cleared before every P∀NNQ, so its influence set is
+        // adapted cold and the P∃NNQ right after runs fully warm.
+        assert_eq!(outcome.cold_adaptations, outcome.influencers);
+        assert_eq!(outcome.cache_hits, 0.0);
+    }
+
+    #[test]
+    fn efficiency_is_thread_count_independent() {
+        let mut params = ScaleParams::for_scale(RunScale::Quick);
+        params.num_queries = 1;
+        let ds = build_synthetic(&params, 600, 8.0, 40, 3);
+        let queries = build_queries(&ds, &params, 3);
+        let serial = measure_efficiency(&ds, &queries, 50, 3, 1);
+        let parallel = measure_efficiency(&ds, &queries, 50, 3, 4);
+        assert_eq!(serial.candidates, parallel.candidates);
+        assert_eq!(serial.influencers, parallel.influencers);
+        assert_eq!(serial.cold_adaptations, parallel.cold_adaptations);
+    }
+
+    #[test]
+    fn ts_only_measurement_runs_without_sampling() {
+        let mut params = ScaleParams::for_scale(RunScale::Quick);
+        params.num_queries = 2;
+        let ds = build_synthetic(&params, 600, 8.0, 40, 3);
+        let queries = build_queries(&ds, &params, 3);
+        let engine = QueryEngine::new(&ds.database, EngineConfig::with_samples(1));
+        let ts = measure_ts_phase(&engine, &queries, 1);
+        assert!(ts >= 0.0);
+        assert_eq!(engine.cached_models(), 0, "the cache is left cleared");
     }
 }

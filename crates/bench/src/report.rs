@@ -41,6 +41,10 @@ pub struct ExperimentReport {
     pub name: String,
     /// Human-readable description of the experiment and its axes.
     pub description: String,
+    /// Run-level metadata that applies to every row (e.g. the TS-phase thread
+    /// count, or a whole-phase wall-clock time). Serialised as a `"meta"`
+    /// object in the JSON report.
+    pub meta: Vec<(String, f64)>,
     /// Measured rows.
     pub rows: Vec<Row>,
 }
@@ -48,7 +52,12 @@ pub struct ExperimentReport {
 impl ExperimentReport {
     /// Creates an empty report.
     pub fn new(name: impl Into<String>, description: impl Into<String>) -> Self {
-        ExperimentReport { name: name.into(), description: description.into(), rows: Vec::new() }
+        ExperimentReport {
+            name: name.into(),
+            description: description.into(),
+            meta: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -56,10 +65,24 @@ impl ExperimentReport {
         self.rows.push(row);
     }
 
+    /// Records a run-level metadata value (builder style).
+    pub fn with_meta(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.set_meta(name, value);
+        self
+    }
+
+    /// Records a run-level metadata value.
+    pub fn set_meta(&mut self, name: impl Into<String>, value: f64) {
+        self.meta.push((name.into(), value));
+    }
+
     /// Renders the report as an aligned text table.
     pub fn to_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("# {}\n# {}\n", self.name, self.description));
+        for (name, value) in &self.meta {
+            out.push_str(&format!("# {name} = {value}\n"));
+        }
         if self.rows.is_empty() {
             out.push_str("(no rows)\n");
             return out;
@@ -115,9 +138,11 @@ impl ExperimentReport {
                 ])
             })
             .collect();
+        let meta = self.meta.iter().map(|(n, v)| (n.clone(), Json::Number(*v))).collect();
         Json::object([
             ("name", Json::String(self.name.clone())),
             ("description", Json::String(self.description.clone())),
+            ("meta", Json::Object(meta)),
             ("rows", Json::Array(rows)),
         ])
         .to_pretty()
@@ -170,6 +195,15 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(*rows[1].get("label"), "|S|=100k");
         assert_eq!(*rows[1].get("values").get("TS"), 12.0);
+    }
+
+    #[test]
+    fn meta_values_reach_table_and_json() {
+        let report = sample().with_meta("threads", 4.0);
+        let table = report.to_table();
+        assert!(table.contains("# threads = 4"));
+        let value = Json::parse(&report.to_json()).unwrap();
+        assert_eq!(*value.get("meta").get("threads"), 4.0);
     }
 
     #[test]

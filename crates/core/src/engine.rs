@@ -8,7 +8,9 @@
 //! 2. **Model adaptation ("TS")** — for every remaining object the
 //!    forward–backward adaptation turns the a-priori chain plus observations
 //!    into the a-posteriori chain. Adapted models are cached, since "this
-//!    phase can be performed once and used for all queries".
+//!    phase can be performed once and used for all queries"; cold objects are
+//!    fanned out across [`EngineConfig::adaptation_threads`] workers through
+//!    the stampede-free [`crate::prepare`] subsystem.
 //! 3. **Refinement ("FA"/"EX"/"SA")** — possible worlds are sampled from the
 //!    a-posteriori models; in each world the certain-trajectory NN primitives
 //!    decide which objects are nearest neighbors at which query timestamps;
@@ -16,10 +18,10 @@
 //!    compared against `τ`.
 
 use crate::pcnn::{apriori_timesets, PcnnConfig};
+use crate::prepare::{adapt_batch, AdaptationCache, CacheStats, PrepareOutcome};
 use crate::query::{Query, QueryError};
 use crate::results::{ObjectProbability, PcnnObjectResult, PcnnOutcome, QueryOutcome, QueryStats};
 use crate::ObjectId;
-use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rustc_hash::FxHashMap;
@@ -44,11 +46,23 @@ pub struct EngineConfig {
     pub use_index: bool,
     /// Report only maximal qualifying timestamp sets from PCNN queries.
     pub maximal_pcnn_sets: bool,
+    /// Number of worker threads the model-adaptation ("TS") phase fans cold
+    /// objects out across. `0` (the default) uses the machine's available
+    /// parallelism; `1` reproduces the serial adaptation loop bit-for-bit.
+    /// Query *results* are identical for every setting — adaptation is
+    /// deterministic per object — only wall-clock time changes.
+    pub adaptation_threads: usize,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { num_samples: 10_000, seed: 0, use_index: true, maximal_pcnn_sets: false }
+        EngineConfig {
+            num_samples: 10_000,
+            seed: 0,
+            use_index: true,
+            maximal_pcnn_sets: false,
+            adaptation_threads: 0,
+        }
     }
 }
 
@@ -56,6 +70,12 @@ impl EngineConfig {
     /// Convenience constructor overriding the number of sampled worlds.
     pub fn with_samples(num_samples: usize) -> Self {
         EngineConfig { num_samples, ..Default::default() }
+    }
+
+    /// Returns the configuration with the TS-phase thread count overridden
+    /// (builder style).
+    pub fn with_adaptation_threads(self, adaptation_threads: usize) -> Self {
+        EngineConfig { adaptation_threads, ..self }
     }
 }
 
@@ -68,7 +88,7 @@ pub struct QueryEngine<'a> {
     db: &'a TrajectoryDatabase,
     index: Option<UstTree>,
     config: EngineConfig,
-    cache: RwLock<FxHashMap<ObjectId, Arc<AdaptedModel>>>,
+    cache: AdaptationCache,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -76,12 +96,12 @@ impl<'a> QueryEngine<'a> {
     /// the filter step.
     pub fn new(db: &'a TrajectoryDatabase, config: EngineConfig) -> Self {
         let index = if config.use_index { Some(UstTree::build(db)) } else { None };
-        QueryEngine { db, index, config, cache: RwLock::new(FxHashMap::default()) }
+        QueryEngine { db, index, config, cache: AdaptationCache::new() }
     }
 
     /// Creates an engine reusing a pre-built UST-tree.
     pub fn with_index(db: &'a TrajectoryDatabase, index: UstTree, config: EngineConfig) -> Self {
-        QueryEngine { db, index: Some(index), config, cache: RwLock::new(FxHashMap::default()) }
+        QueryEngine { db, index: Some(index), config, cache: AdaptationCache::new() }
     }
 
     /// Creates an engine with a custom UST-tree configuration.
@@ -91,7 +111,7 @@ impl<'a> QueryEngine<'a> {
         tree_cfg: &UstTreeConfig,
     ) -> Self {
         let index = if config.use_index { Some(UstTree::build_with(db, tree_cfg)) } else { None };
-        QueryEngine { db, index, config, cache: RwLock::new(FxHashMap::default()) }
+        QueryEngine { db, index, config, cache: AdaptationCache::new() }
     }
 
     /// The underlying database.
@@ -112,60 +132,101 @@ impl<'a> QueryEngine<'a> {
     /// Discards all cached a-posteriori models (useful for benchmarking the
     /// adaptation phase in isolation).
     pub fn clear_model_cache(&self) {
-        self.cache.write().clear();
+        self.cache.clear();
     }
 
     /// Number of currently cached a-posteriori models.
     pub fn cached_models(&self) -> usize {
-        self.cache.read().len()
+        self.cache.len()
+    }
+
+    /// Lifetime hit/cold counters of the model cache (see [`CacheStats`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     // ------------------------------------------------------------------
     // Model adaptation ("TS" phase)
     // ------------------------------------------------------------------
 
-    /// Returns (building and caching if necessary) the a-posteriori model of
-    /// an object.
-    pub fn adapted_model(&self, id: ObjectId) -> Result<Arc<AdaptedModel>, QueryError> {
-        if let Some(m) = self.cache.read().get(&id) {
-            return Ok(m.clone());
-        }
-        let object = self
-            .db
-            .object(id)
-            .ok_or(QueryError::Adaptation {
-                object: id,
-                error: ust_markov::AdaptError::NoObservations,
-            })?;
+    /// Runs the forward–backward adaptation of one object, bypassing the
+    /// cache. This is the closure handed to the anti-stampede slots.
+    fn adapt_uncached(&self, id: ObjectId) -> Result<AdaptedModel, QueryError> {
+        let object = self.db.object(id).ok_or(QueryError::UnknownObject { object: id })?;
         let model = self.db.model_for(id);
-        let adapted = ModelAdaptation::new()
+        ModelAdaptation::new()
             .adapt(model.as_ref(), &object.observation_pairs())
-            .map_err(|error| QueryError::Adaptation { object: id, error })?;
-        let adapted = Arc::new(adapted);
-        self.cache.write().insert(id, adapted.clone());
-        Ok(adapted)
+            .map_err(|error| QueryError::Adaptation { object: id, error })
     }
 
-    /// Adapts (or fetches from the cache) the models of the given objects,
-    /// returning them together with the wall-clock time spent.
-    pub fn prepare_objects(
+    /// Returns (building and caching if necessary) the a-posteriori model of
+    /// an object.
+    ///
+    /// Concurrent calls for the same uncached object never duplicate the
+    /// forward–backward work: the first caller adapts, later callers block on
+    /// its result (see [`crate::prepare::AdaptationCache`]).
+    pub fn adapted_model(&self, id: ObjectId) -> Result<Arc<AdaptedModel>, QueryError> {
+        self.cache.get_or_adapt(id, || self.adapt_uncached(id)).map(|(model, _)| model)
+    }
+
+    /// Adapts (or fetches from the cache) the models of the given objects.
+    ///
+    /// Cold objects are fanned out across
+    /// [`adaptation_threads`](EngineConfig::adaptation_threads) scoped worker
+    /// threads; warm objects are answered from the cache and excluded from the
+    /// reported [`PrepareOutcome::cold_time`]. The returned model order always
+    /// matches `ids`, independent of the thread count.
+    pub fn prepare_objects(&self, ids: &[ObjectId]) -> Result<PrepareOutcome, QueryError> {
+        self.prepare_objects_with_threads(ids, self.config.adaptation_threads)
+    }
+
+    /// [`prepare_objects`](Self::prepare_objects) with an explicit TS-phase
+    /// thread count, overriding the engine configuration for this call (used
+    /// by the benchmarks to measure a serial baseline on the same engine and
+    /// UST-tree as the parallel measurement).
+    pub fn prepare_objects_with_threads(
         &self,
         ids: &[ObjectId],
-    ) -> Result<(AdaptedModels, Duration), QueryError> {
-        let start = Instant::now();
-        let mut out = Vec::with_capacity(ids.len());
-        for &id in ids {
-            out.push((id, self.adapted_model(id)?));
+        threads: usize,
+    ) -> Result<PrepareOutcome, QueryError> {
+        let mut slots: Vec<Option<Arc<AdaptedModel>>> = Vec::new();
+        slots.resize_with(ids.len(), || None);
+        let mut cold: Vec<(usize, ObjectId)> = Vec::new();
+        for (i, &id) in ids.iter().enumerate() {
+            match self.cache.peek(id) {
+                Some(model) => slots[i] = Some(model),
+                None => cold.push((i, id)),
+            }
         }
-        Ok((out, start.elapsed()))
+        let mut cold_adaptations = 0usize;
+        let mut cold_time = Duration::ZERO;
+        if !cold.is_empty() {
+            let cold_ids: Vec<ObjectId> = cold.iter().map(|&(_, id)| id).collect();
+            let start = Instant::now();
+            let results = adapt_batch(&self.cache, &cold_ids, threads, |id| {
+                self.adapt_uncached(id)
+            });
+            cold_time = start.elapsed();
+            for (&(i, _), result) in cold.iter().zip(results) {
+                let (model, was_cold) = result?;
+                cold_adaptations += usize::from(was_cold);
+                slots[i] = Some(model);
+            }
+        }
+        let models: AdaptedModels = ids
+            .iter()
+            .zip(slots)
+            .map(|(&id, slot)| (id, slot.expect("every id resolved above")))
+            .collect();
+        let cache_hits = ids.len() - cold_adaptations;
+        Ok(PrepareOutcome { models, cache_hits, cold_adaptations, cold_time })
     }
 
     /// Adapts the models of *all* database objects (the full "TS" phase of the
-    /// experiments) and returns the elapsed wall-clock time.
-    pub fn prepare_all(&self) -> Result<Duration, QueryError> {
+    /// experiments).
+    pub fn prepare_all(&self) -> Result<PrepareOutcome, QueryError> {
         let ids: Vec<ObjectId> = self.db.objects().iter().map(|o| o.id()).collect();
-        let (_, elapsed) = self.prepare_objects(&ids)?;
-        Ok(elapsed)
+        self.prepare_objects(&ids)
     }
 
     // ------------------------------------------------------------------
@@ -225,8 +286,11 @@ impl<'a> QueryEngine<'a> {
         influencers: &[ObjectId],
         k: usize,
     ) -> Result<SamplingOutput, QueryError> {
-        let (models, adaptation_time) = self.prepare_objects(influencers)?;
-        let sampler = WorldSampler::from_models(models);
+        let prepared = self.prepare_objects(influencers)?;
+        let adaptation_time = prepared.cold_time;
+        let cache_hits = prepared.cache_hits;
+        let cold_adaptations = prepared.cold_adaptations;
+        let sampler = WorldSampler::from_models(prepared.models);
         let times = query.times();
         let space = self.db.state_space();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -240,8 +304,9 @@ impl<'a> QueryEngine<'a> {
 
         for _ in 0..self.config.num_samples {
             let world = sampler.sample_world(&mut rng);
-            let refs = world.as_refs();
-            let profile = NnTimeProfile::compute_knn(&refs, space, times, |t| {
+            // `trajectories()` feeds the NN primitives directly — no per-world
+            // `as_refs` Vec is allocated in this hot loop.
+            let profile = NnTimeProfile::compute_knn(world.trajectories(), space, times, |t| {
                 query.position_at(t).expect("query validated")
             }, k);
             for (id, mask) in profile.iter() {
@@ -264,6 +329,8 @@ impl<'a> QueryEngine<'a> {
             exists_counts,
             worlds: self.config.num_samples,
             adaptation_time,
+            cache_hits,
+            cold_adaptations,
             sampling_time,
         })
     }
@@ -278,6 +345,8 @@ impl<'a> QueryEngine<'a> {
             candidates: candidates.len(),
             influencers: influencers.len(),
             adaptation_time: sampling.adaptation_time,
+            cache_hits: sampling.cache_hits,
+            cold_adaptations: sampling.cold_adaptations,
             sampling_time: sampling.sampling_time,
             worlds: sampling.worlds,
         }
@@ -400,6 +469,8 @@ struct SamplingOutput {
     exists_counts: FxHashMap<ObjectId, usize>,
     worlds: usize,
     adaptation_time: Duration,
+    cache_hits: usize,
+    cold_adaptations: usize,
     sampling_time: Duration,
 }
 
@@ -603,9 +674,59 @@ mod tests {
         assert_eq!(engine.cached_models(), cached, "second query reuses the cache");
         engine.clear_model_cache();
         assert_eq!(engine.cached_models(), 0);
-        let elapsed = engine.prepare_all().unwrap();
-        assert!(elapsed >= Duration::ZERO);
+        let outcome = engine.prepare_all().unwrap();
+        assert!(outcome.cold_time >= Duration::ZERO);
+        assert_eq!(outcome.cold_adaptations, db.len());
+        assert_eq!(outcome.cache_hits, 0);
         assert_eq!(engine.cached_models(), db.len());
+        let warm = engine.prepare_all().unwrap();
+        assert_eq!(warm.cold_adaptations, 0);
+        assert_eq!(warm.cache_hits, db.len());
+        assert_eq!(warm.cold_time, Duration::ZERO, "warm lookups are not TS work");
+    }
+
+    #[test]
+    fn unknown_object_id_is_reported_as_such() {
+        let db = covered_db();
+        let engine = QueryEngine::new(&db, EngineConfig::with_samples(100));
+        let err = engine.adapted_model(99).unwrap_err();
+        assert_eq!(err, QueryError::UnknownObject { object: 99 });
+        assert!(err.to_string().contains("no object with id 99"));
+    }
+
+    #[test]
+    fn warm_queries_report_hits_and_zero_adaptation_time() {
+        let db = covered_db();
+        let engine = QueryEngine::new(&db, EngineConfig::with_samples(200));
+        let q = query();
+        let first = engine.pforall_nn(&q, 0.0).unwrap();
+        assert_eq!(first.stats.cold_adaptations, first.stats.influencers);
+        assert_eq!(first.stats.cache_hits, 0);
+        let second = engine.pforall_nn(&q, 0.0).unwrap();
+        assert_eq!(second.stats.cold_adaptations, 0);
+        assert_eq!(second.stats.cache_hits, second.stats.influencers);
+        assert_eq!(
+            second.stats.adaptation_time,
+            Duration::ZERO,
+            "warm cache lookups must not count as TS time"
+        );
+    }
+
+    #[test]
+    fn serial_and_parallel_adaptation_agree() {
+        let db = covered_db();
+        let q = query();
+        let serial = QueryEngine::new(
+            &db,
+            EngineConfig { num_samples: 500, adaptation_threads: 1, ..Default::default() },
+        );
+        let parallel = QueryEngine::new(
+            &db,
+            EngineConfig { num_samples: 500, adaptation_threads: 4, ..Default::default() },
+        );
+        let a = serial.pforall_nn(&q, 0.0).unwrap();
+        let b = parallel.pforall_nn(&q, 0.0).unwrap();
+        assert_eq!(a.results, b.results, "thread count must not change query results");
     }
 
     #[test]

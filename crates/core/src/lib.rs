@@ -22,7 +22,8 @@
 //! ## Evaluation strategies
 //!
 //! * [`engine::QueryEngine`] — the paper's practical algorithm: UST-tree
-//!   pruning (`ust-index`), forward–backward model adaptation (`ust-markov`),
+//!   pruning (`ust-index`), forward–backward model adaptation (`ust-markov`,
+//!   batched and parallelised by the stampede-free [`prepare`] subsystem),
 //!   Monte-Carlo sampling of possible worlds (`ust-sampling`) and
 //!   certain-world NN evaluation (`ust-trajectory`). PCNN uses the
 //!   Apriori-style lattice of Algorithm 1 ([`pcnn`]).
@@ -43,12 +44,14 @@ pub mod effectiveness;
 pub mod engine;
 pub mod exact;
 pub mod pcnn;
+pub mod prepare;
 pub mod query;
 pub mod results;
 pub mod sat;
 pub mod snapshot;
 
 pub use engine::{EngineConfig, QueryEngine};
+pub use prepare::{AdaptationCache, CacheStats, PrepareOutcome};
 pub use exact::{ExactError, ExactResult};
 pub use pcnn::{PcnnConfig, PcnnResult};
 pub use query::{Query, QueryError};

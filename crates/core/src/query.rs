@@ -35,6 +35,14 @@ pub enum QueryError {
         /// The underlying adaptation error.
         error: ust_markov::AdaptError,
     },
+    /// An object id that does not exist in the trajectory database was
+    /// requested (previously misreported as [`AdaptError::NoObservations`]).
+    ///
+    /// [`AdaptError::NoObservations`]: ust_markov::AdaptError::NoObservations
+    UnknownObject {
+        /// The id no database object carries.
+        object: crate::ObjectId,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -50,6 +58,9 @@ impl std::fmt::Display for QueryError {
             }
             QueryError::Adaptation { object, error } => {
                 write!(f, "model adaptation failed for object {object}: {error}")
+            }
+            QueryError::UnknownObject { object } => {
+                write!(f, "the database has no object with id {object}")
             }
         }
     }
@@ -260,6 +271,20 @@ mod tests {
         let traj = Query::with_trajectory(vec![(1, Point::ORIGIN), (2, Point::new(1.0, 1.0))]).unwrap();
         let sub = traj.restricted_to(&[2]).unwrap();
         assert_eq!(sub.position_at(2), Some(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn unknown_object_error_display() {
+        let err = QueryError::UnknownObject { object: 17 };
+        assert_eq!(err.to_string(), "the database has no object with id 17");
+        assert_ne!(
+            err,
+            QueryError::Adaptation {
+                object: 17,
+                error: ust_markov::AdaptError::NoObservations,
+            },
+            "a missing object is not an adaptation failure"
+        );
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Concurrency tests for the TS-phase subsystem: the adaptation-cache
+//! anti-stampede guarantee, determinism of the parallel fan-out, and
+//! thread-safety of whole queries against one shared engine.
+
+use std::sync::{Arc, Barrier};
+use ust_core::{EngineConfig, Query, QueryEngine, QueryError};
+use ust_markov::{CsrMatrix, MarkovModel, StateId};
+use ust_spatial::{Point, StateSpace};
+use ust_trajectory::{TrajectoryDatabase, UncertainObject};
+
+/// Gap between the two observations pinning every object.
+const GAP: u32 = 6;
+
+/// A database of `num_objects` random walkers on a ring of `num_states`
+/// states, each pinned at `t = 0` and `t = GAP` so the forward–backward
+/// adaptation has real inference work to do in between.
+fn ring_db(num_states: usize, num_objects: u32) -> TrajectoryDatabase {
+    let points: Vec<Point> = (0..num_states)
+        .map(|i| {
+            let a = (i as f64) / (num_states as f64) * std::f64::consts::TAU;
+            Point::new(a.cos(), a.sin())
+        })
+        .collect();
+    let space = Arc::new(StateSpace::from_points(points));
+    let rows: Vec<Vec<(StateId, f64)>> = (0..num_states)
+        .map(|i| {
+            let fwd = ((i + 1) % num_states) as StateId;
+            let bwd = ((i + num_states - 1) % num_states) as StateId;
+            vec![(bwd, 0.25), (i as StateId, 0.5), (fwd, 0.25)]
+        })
+        .collect();
+    let model = Arc::new(MarkovModel::homogeneous(CsrMatrix::from_rows(rows)));
+    let objects: Vec<UncertainObject> = (1..=num_objects)
+        .map(|id| {
+            let start = ((id as usize * 7) % num_states) as StateId;
+            let end = ((start as usize + 2) % num_states) as StateId;
+            UncertainObject::from_pairs(id, vec![(0, start), (GAP, end)])
+                .expect("observations are sorted")
+        })
+        .collect();
+    TrajectoryDatabase::with_objects(space, model, objects)
+}
+
+fn ring_query() -> Query {
+    Query::at_point(Point::new(1.2, 0.0), 0..=GAP).expect("valid query")
+}
+
+#[test]
+fn hammering_one_object_adapts_it_exactly_once() {
+    let db = ring_db(64, 4);
+    let engine = QueryEngine::new(&db, EngineConfig::with_samples(50));
+    let threads = 8;
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                barrier.wait();
+                let model = engine.adapted_model(1).expect("object 1 exists");
+                assert_eq!(model.start(), 0);
+                assert_eq!(model.end(), GAP);
+            });
+        }
+    });
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.cold_adaptations, 1,
+        "concurrent misses on one id must not duplicate the forward–backward work"
+    );
+    assert_eq!(stats.hits, threads as u64 - 1);
+    assert_eq!(engine.cached_models(), 1);
+}
+
+#[test]
+fn concurrent_cold_prepares_adapt_each_object_exactly_once() {
+    let db = ring_db(64, 40);
+    let engine = QueryEngine::new(&db, EngineConfig::with_samples(50));
+    let threads = 6;
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                barrier.wait();
+                let outcome = engine.prepare_all().expect("adaptation succeeds");
+                assert_eq!(outcome.models.len(), db.len());
+            });
+        }
+    });
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.cold_adaptations,
+        db.len() as u64,
+        "every object must be adapted exactly once across all racing threads"
+    );
+    assert_eq!(engine.cached_models(), db.len());
+}
+
+#[test]
+fn parallel_queries_match_the_serial_run_exactly() {
+    let db = ring_db(64, 24);
+    let query = ring_query();
+    // Reference: a fully serial engine (adaptation_threads = 1, queried from
+    // one thread) — the pre-parallelism behaviour.
+    let serial = QueryEngine::new(
+        &db,
+        EngineConfig { num_samples: 400, adaptation_threads: 1, ..Default::default() },
+    );
+    let ref_forall = serial.pforall_nn(&query, 0.0).expect("query succeeds");
+    let ref_exists = serial.pexists_nn(&query, 0.0).expect("query succeeds");
+
+    let shared = QueryEngine::new(&db, EngineConfig::with_samples(400));
+    let threads = 4;
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                barrier.wait();
+                let forall = shared.pforall_nn(&query, 0.0).expect("query succeeds");
+                let exists = shared.pexists_nn(&query, 0.0).expect("query succeeds");
+                assert_eq!(
+                    forall.results, ref_forall.results,
+                    "P∀NN probabilities must match the serial run exactly"
+                );
+                assert_eq!(
+                    exists.results, ref_exists.results,
+                    "P∃NN probabilities must match the serial run exactly"
+                );
+            });
+        }
+    });
+}
+
+#[test]
+fn prepare_all_is_deterministic_across_thread_counts() {
+    let db = ring_db(64, 32);
+    let ids: Vec<u32> = (1..=32).collect();
+    let serial = QueryEngine::new(
+        &db,
+        EngineConfig { adaptation_threads: 1, use_index: false, ..Default::default() },
+    );
+    let parallel = QueryEngine::new(
+        &db,
+        EngineConfig { adaptation_threads: 4, use_index: false, ..Default::default() },
+    );
+    let a = serial.prepare_all().expect("adaptation succeeds");
+    let b = parallel.prepare_all().expect("adaptation succeeds");
+    assert_eq!(a.cold_adaptations, db.len());
+    assert_eq!(b.cold_adaptations, db.len());
+    let order_a: Vec<u32> = a.models.iter().map(|(id, _)| *id).collect();
+    let order_b: Vec<u32> = b.models.iter().map(|(id, _)| *id).collect();
+    assert_eq!(order_a, order_b, "model order must not depend on the thread count");
+    for &id in &ids {
+        let ma = serial.adapted_model(id).unwrap();
+        let mb = parallel.adapted_model(id).unwrap();
+        for t in 0..=GAP {
+            assert_eq!(
+                ma.posterior_at(t),
+                mb.posterior_at(t),
+                "posterior of object {id} at t={t} differs between thread counts"
+            );
+        }
+    }
+    // Warm queries over the two engines agree exactly, too.
+    let query = ring_query();
+    let qa = serial.pforall_nn(&query, 0.0).unwrap();
+    let qb = parallel.pforall_nn(&query, 0.0).unwrap();
+    assert_eq!(qa.results, qb.results);
+}
+
+#[test]
+fn unknown_object_is_a_dedicated_error() {
+    let db = ring_db(16, 2);
+    let engine = QueryEngine::new(&db, EngineConfig::with_samples(10));
+    match engine.adapted_model(999) {
+        Err(QueryError::UnknownObject { object }) => assert_eq!(object, 999),
+        other => panic!("expected UnknownObject, got {other:?}"),
+    }
+    let outcome = engine.prepare_objects(&[1, 999]);
+    assert_eq!(outcome.unwrap_err(), QueryError::UnknownObject { object: 999 });
+}

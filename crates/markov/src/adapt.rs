@@ -417,6 +417,19 @@ impl AdaptedModel {
     }
 }
 
+// The query engine shares adapted models across its TS-phase worker threads
+// (`Arc<AdaptedModel>` handed between scoped threads), so these types must
+// stay `Send + Sync`. The assertion is compile-time: adding interior
+// mutability or non-atomic shared state to any of them breaks the build here
+// rather than at the distant engine call site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AdaptedModel>();
+    assert_send_sync::<ModelAdaptation>();
+    assert_send_sync::<AdaptError>();
+    assert_send_sync::<TransitionTable>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

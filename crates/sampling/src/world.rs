@@ -25,7 +25,12 @@ impl PossibleWorld {
         &self.trajectories
     }
 
-    /// View as `(id, &Trajectory)` pairs for the certain-world NN primitives.
+    /// View as `(id, &Trajectory)` pairs.
+    ///
+    /// The certain-world NN primitives in `ust-trajectory` are generic over
+    /// `Borrow<Trajectory>`, so [`PossibleWorld::trajectories`] can be handed
+    /// to them directly; this allocating view only remains for callers that
+    /// need to mix trajectories from several worlds into one slice.
     pub fn as_refs(&self) -> Vec<(ObjectId, &Trajectory)> {
         self.trajectories.iter().map(|(id, tr)| (*id, tr)).collect()
     }

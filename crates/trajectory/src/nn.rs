@@ -20,19 +20,27 @@ use crate::object::ObjectId;
 use crate::timemask::TimeMask;
 use crate::Timestamp;
 use rustc_hash::FxHashMap;
+use std::borrow::Borrow;
 use ust_spatial::{Point, StateSpace};
 
 /// All objects that are nearest neighbors of `q` at time `t` in the given
 /// world (ties included). Objects not covering `t` are ignored.
-pub fn nn_objects_at(
-    world: &[(ObjectId, &Trajectory)],
+///
+/// The world is generic over [`Borrow<Trajectory>`], so both borrowed views
+/// (`&[(ObjectId, &Trajectory)]`) and owned possible-world storage
+/// (`&[(ObjectId, Trajectory)]`) are accepted without building an
+/// intermediate reference `Vec` — the Monte-Carlo engine calls this once per
+/// sampled world, so that allocation used to run 10 000× per query.
+pub fn nn_objects_at<T: Borrow<Trajectory>>(
+    world: &[(ObjectId, T)],
     space: &StateSpace,
     q: &Point,
     t: Timestamp,
 ) -> Vec<ObjectId> {
     let mut best = f64::INFINITY;
     let mut out: Vec<ObjectId> = Vec::new();
-    for &(id, tr) in world {
+    for (id, tr) in world {
+        let (id, tr) = (*id, tr.borrow());
         let Some(s) = tr.state_at(t) else { continue };
         let d = space.position(s).dist2(q);
         if d < best {
@@ -49,8 +57,8 @@ pub fn nn_objects_at(
 /// All objects in the k-nearest-neighbor set of `q` at time `t`: every object
 /// whose distance is at most the k-th smallest distance (so ties at the
 /// boundary are included). Objects not covering `t` are ignored.
-pub fn knn_members_at(
-    world: &[(ObjectId, &Trajectory)],
+pub fn knn_members_at<T: Borrow<Trajectory>>(
+    world: &[(ObjectId, T)],
     space: &StateSpace,
     q: &Point,
     t: Timestamp,
@@ -61,8 +69,8 @@ pub fn knn_members_at(
     }
     let mut dists: Vec<(f64, ObjectId)> = world
         .iter()
-        .filter_map(|&(id, tr)| {
-            tr.state_at(t).map(|s| (space.position(s).dist2(q), id))
+        .filter_map(|(id, tr)| {
+            tr.borrow().state_at(t).map(|s| (space.position(s).dist2(q), *id))
         })
         .collect();
     if dists.is_empty() {
@@ -83,8 +91,8 @@ pub struct NnTimeProfile {
 
 impl NnTimeProfile {
     /// Computes the profile for `k = 1` (plain nearest neighbors).
-    pub fn compute(
-        world: &[(ObjectId, &Trajectory)],
+    pub fn compute<T: Borrow<Trajectory>>(
+        world: &[(ObjectId, T)],
         space: &StateSpace,
         times: &[Timestamp],
         query_pos: impl Fn(Timestamp) -> Point,
@@ -94,8 +102,12 @@ impl NnTimeProfile {
 
     /// Computes the profile for general `k`: bit `i` of an object's mask is
     /// set iff the object belongs to the kNN set of the query at `times[i]`.
-    pub fn compute_knn(
-        world: &[(ObjectId, &Trajectory)],
+    ///
+    /// Like [`nn_objects_at`], the world is generic over
+    /// [`Borrow<Trajectory>`] so a sampled possible world's owned trajectory
+    /// storage can be evaluated without first materialising a reference `Vec`.
+    pub fn compute_knn<T: Borrow<Trajectory>>(
+        world: &[(ObjectId, T)],
         space: &StateSpace,
         times: &[Timestamp],
         query_pos: impl Fn(Timestamp) -> Point,
@@ -294,6 +306,34 @@ mod tests {
         assert_eq!(profile.nn_intervals(2), vec![(0, 1), (3, 3)]);
         assert_eq!(profile.nn_intervals(1), vec![(2, 2)]);
         assert_eq!(profile.nn_intervals(42), Vec::<(Timestamp, Timestamp)>::new());
+    }
+
+    #[test]
+    fn owned_trajectory_worlds_need_no_reference_vec() {
+        let sp = space();
+        // The same world twice: once as owned pairs (the possible-world
+        // storage), once as the classic borrowed view. Results must agree.
+        let owned: Vec<(ObjectId, Trajectory)> = vec![
+            (1, Trajectory::new(0, vec![0, 0, 0])),
+            (2, Trajectory::new(0, vec![3, 2, 0])),
+        ];
+        let borrowed: Vec<(ObjectId, &Trajectory)> =
+            owned.iter().map(|(id, tr)| (*id, tr)).collect();
+        let q = Point::new(0.0, 0.0);
+        assert_eq!(
+            nn_objects_at(&owned, &sp, &q, 1),
+            nn_objects_at(&borrowed, &sp, &q, 1)
+        );
+        assert_eq!(
+            knn_members_at(&owned, &sp, &q, 0, 2),
+            knn_members_at(&borrowed, &sp, &q, 0, 2)
+        );
+        let times = vec![0, 1, 2];
+        let a = NnTimeProfile::compute(&owned, &sp, &times, |_| q);
+        let b = NnTimeProfile::compute(&borrowed, &sp, &times, |_| q);
+        for id in [1u32, 2] {
+            assert_eq!(a.mask(id), b.mask(id));
+        }
     }
 
     #[test]

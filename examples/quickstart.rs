@@ -91,8 +91,10 @@ fn main() {
     }
 
     println!(
-        "\nphase timings: adaptation {:.1} ms, sampling {:.1} ms ({} worlds)",
+        "\nphase timings: adaptation {:.1} ms ({} cold, {} cache hits), sampling {:.1} ms ({} worlds)",
         forall.stats.adaptation_time.as_secs_f64() * 1e3,
+        forall.stats.cold_adaptations,
+        forall.stats.cache_hits,
         forall.stats.sampling_time.as_secs_f64() * 1e3,
         forall.stats.worlds
     );

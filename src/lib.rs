@@ -33,7 +33,8 @@ pub use ust_trajectory as trajectory;
 /// Commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
     pub use ust_core::{
-        EngineConfig, ObjectProbability, PcnnOutcome, Query, QueryEngine, QueryOutcome,
+        AdaptationCache, CacheStats, EngineConfig, ObjectProbability, PcnnOutcome, PrepareOutcome,
+        Query, QueryEngine, QueryOutcome,
     };
     pub use ust_generator::{
         Dataset, ObjectWorkloadConfig, QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig,
