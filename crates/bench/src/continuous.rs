@@ -3,10 +3,14 @@
 //! The harness measures, per query,
 //!
 //! * **TS** — the model-adaptation time,
-//! * **SA** — the time to sample possible worlds and run the Apriori lattice
-//!   of Algorithm 1 over the candidate timestamp sets,
+//! * **SA** — the time to sample possible worlds and run the vertical
+//!   (bitset) Apriori lattice of Algorithm 1 over the candidate timestamp
+//!   sets,
 //! * **#Timestamp Sets** — the size of the (unprocessed) result set, i.e. the
-//!   number of qualifying `(object, timestamp set)` pairs.
+//!   number of qualifying `(object, timestamp set)` pairs,
+//!
+//! plus the lattice observability counters (`max_level`, `frontier_peak`)
+//! that make the small-τ blow-up of Section 4.3 visible in the JSON reports.
 
 use std::time::Instant;
 use ust_core::{EngineConfig, Query, QueryEngine};
@@ -23,21 +27,38 @@ pub struct PcnnMeasurement {
     pub timestamp_sets: f64,
     /// Mean number of candidate sets validated by the Apriori expansion.
     pub candidate_sets: f64,
+    /// Deepest lattice level reached across all queries.
+    pub max_level: f64,
+    /// Widest Apriori frontier across all queries.
+    pub frontier_peak: f64,
     /// Number of queries measured.
     pub queries: usize,
+    /// Total wall-clock time of the measurement (all queries, including the
+    /// repeated cold adaptations), seconds.
+    pub wall_seconds: f64,
 }
 
-/// Runs the PCNN efficiency measurement for a given threshold `tau`.
+/// Runs the PCNN efficiency measurement for a given threshold `tau`, fanning
+/// both the TS phase and the per-candidate lattice runs across `threads`
+/// workers (`0` = available parallelism, `1` = serial).
 pub fn measure_pcnn(
     dataset: &Dataset,
     workload: &QueryWorkload,
     num_samples: usize,
     tau: f64,
     seed: u64,
+    threads: usize,
 ) -> PcnnMeasurement {
-    let config = EngineConfig { num_samples, seed, ..Default::default() };
+    let config = EngineConfig {
+        num_samples,
+        seed,
+        adaptation_threads: threads,
+        pcnn_threads: threads,
+        ..Default::default()
+    };
     let engine = QueryEngine::new(&dataset.database, config);
     let mut out = PcnnMeasurement::default();
+    let wall_start = Instant::now();
     for spec in &workload.queries {
         let query = Query::at_point(spec.location, spec.times.iter().copied())
             .expect("workload queries are well-formed");
@@ -50,8 +71,11 @@ pub fn measure_pcnn(
         out.sa_seconds += (total - ts).max(0.0);
         out.timestamp_sets += outcome.total_result_sets() as f64;
         out.candidate_sets += outcome.candidate_sets_evaluated as f64;
+        out.max_level = out.max_level.max(outcome.max_level() as f64);
+        out.frontier_peak = out.frontier_peak.max(outcome.frontier_peak() as f64);
         out.queries += 1;
     }
+    out.wall_seconds = wall_start.elapsed().as_secs_f64();
     if out.queries > 0 {
         let n = out.queries as f64;
         out.ts_seconds /= n;
@@ -75,11 +99,30 @@ mod tests {
         params.interval_len = 5;
         let ds = build_synthetic(&params, 500, 8.0, 30, 9);
         let queries = build_queries(&ds, &params, 9);
-        let low_tau = measure_pcnn(&ds, &queries, 100, 0.1, 9);
-        let high_tau = measure_pcnn(&ds, &queries, 100, 0.9, 9);
+        let low_tau = measure_pcnn(&ds, &queries, 100, 0.1, 9, 1);
+        let high_tau = measure_pcnn(&ds, &queries, 100, 0.9, 9, 1);
         assert_eq!(low_tau.queries, 2);
         assert!(low_tau.sa_seconds > 0.0);
+        assert!(low_tau.wall_seconds >= low_tau.sa_seconds);
         // A lower threshold can only produce more (or equally many) result sets.
         assert!(low_tau.timestamp_sets >= high_tau.timestamp_sets);
+        // ... and can only deepen/widen the lattice.
+        assert!(low_tau.max_level >= high_tau.max_level);
+        assert!(low_tau.frontier_peak >= high_tau.frontier_peak);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_measured_result_set() {
+        let mut params = ScaleParams::for_scale(RunScale::Quick);
+        params.num_queries = 2;
+        params.interval_len = 5;
+        let ds = build_synthetic(&params, 500, 8.0, 30, 9);
+        let queries = build_queries(&ds, &params, 9);
+        let serial = measure_pcnn(&ds, &queries, 100, 0.3, 9, 1);
+        let parallel = measure_pcnn(&ds, &queries, 100, 0.3, 9, 4);
+        assert_eq!(serial.timestamp_sets, parallel.timestamp_sets);
+        assert_eq!(serial.candidate_sets, parallel.candidate_sets);
+        assert_eq!(serial.max_level, parallel.max_level);
+        assert_eq!(serial.frontier_peak, parallel.frontier_peak);
     }
 }

@@ -17,8 +17,10 @@
 //!    averaging over worlds yields the probability estimates that are
 //!    compared against `τ`.
 
-use crate::pcnn::{apriori_timesets, PcnnConfig};
-use crate::prepare::{adapt_batch, AdaptationCache, CacheStats, PrepareOutcome};
+use crate::pcnn::{vertical_timesets, PcnnConfig, PcnnResult, WorldSet};
+use crate::prepare::{
+    adapt_batch, parallel_map_ordered, AdaptationCache, CacheStats, PrepareOutcome,
+};
 use crate::query::{Query, QueryError};
 use crate::results::{ObjectProbability, PcnnObjectResult, PcnnOutcome, QueryOutcome, QueryStats};
 use crate::ObjectId;
@@ -29,8 +31,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use ust_index::{UstTree, UstTreeConfig};
 use ust_markov::{AdaptedModel, ModelAdaptation};
-use ust_sampling::WorldSampler;
-use ust_trajectory::{NnTimeProfile, TimeMask, TrajectoryDatabase};
+use ust_sampling::{PossibleWorld, WorldSampler};
+use ust_spatial::Point;
+use ust_trajectory::TrajectoryDatabase;
 
 /// Configuration of the query engine.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +55,12 @@ pub struct EngineConfig {
     /// Query *results* are identical for every setting — adaptation is
     /// deterministic per object — only wall-clock time changes.
     pub adaptation_threads: usize,
+    /// Number of worker threads the PCNN lattice phase fans candidate objects
+    /// out across (each candidate's Apriori lattice is mined independently).
+    /// `0` (the default) uses the machine's available parallelism; `1` is the
+    /// serial loop. Per-object results are merged back in ascending object
+    /// order, so query output is byte-identical at every thread count.
+    pub pcnn_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -62,6 +71,7 @@ impl Default for EngineConfig {
             use_index: true,
             maximal_pcnn_sets: false,
             adaptation_threads: 0,
+            pcnn_threads: 0,
         }
     }
 }
@@ -76,6 +86,12 @@ impl EngineConfig {
     /// (builder style).
     pub fn with_adaptation_threads(self, adaptation_threads: usize) -> Self {
         EngineConfig { adaptation_threads, ..self }
+    }
+
+    /// Returns the configuration with the PCNN lattice thread count
+    /// overridden (builder style).
+    pub fn with_pcnn_threads(self, pcnn_threads: usize) -> Self {
+        EngineConfig { pcnn_threads, ..self }
     }
 }
 
@@ -277,8 +293,18 @@ impl<'a> QueryEngine<'a> {
     // ------------------------------------------------------------------
 
     /// Samples possible worlds over the influence set and collects, for every
-    /// candidate, the per-world NN membership masks and, for every influence
-    /// object, the number of worlds with at least one NN timestamp.
+    /// candidate, its transposed [`WorldSet`] (per query timestamp, the bitset
+    /// of worlds in which the candidate is a NN there) and, for every
+    /// influence object, the number of worlds with at least one NN timestamp.
+    ///
+    /// The loop is allocation-free per world: trajectories are sampled into a
+    /// reused buffer ([`WorldSampler::sample_world_into`]), NN membership is
+    /// decided from a reused distance scratch vector, and hits are recorded as
+    /// single bits in the candidates' world-set columns — the old path built a
+    /// hash-mapped [`ust_trajectory::NnTimeProfile`] plus one cloned
+    /// [`ust_trajectory::TimeMask`] per candidate per world. RNG consumption
+    /// is unchanged, so the sampled worlds (and therefore all probability
+    /// estimates) are bit-identical to the mask-based implementation.
     fn sample(
         &self,
         query: &Query,
@@ -296,38 +322,91 @@ impl<'a> QueryEngine<'a> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
         let start = Instant::now();
-        let mut candidate_masks: FxHashMap<ObjectId, Vec<TimeMask>> = candidates
+        let num_worlds = self.config.num_samples;
+        // One vertical world-set per candidate, in ascending object order (the
+        // order PCNN results are reported in).
+        let mut sorted_candidates = candidates.to_vec();
+        sorted_candidates.sort_unstable();
+        let mut candidate_worlds: Vec<(ObjectId, WorldSet)> = sorted_candidates
             .iter()
-            .map(|&id| (id, Vec::with_capacity(self.config.num_samples)))
+            .map(|&id| (id, WorldSet::new(times.len(), num_worlds)))
             .collect();
-        let mut exists_counts: FxHashMap<ObjectId, usize> = FxHashMap::default();
+        let candidate_slot: FxHashMap<ObjectId, usize> =
+            sorted_candidates.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        // Per world-position bookkeeping (world positions = sampler order =
+        // `influencers` order), so the hot loop indexes flat vectors instead
+        // of hashing object ids.
+        let world_ids: Vec<ObjectId> = sampler.object_ids().collect();
+        let slot_of: Vec<Option<usize>> =
+            world_ids.iter().map(|id| candidate_slot.get(id).copied()).collect();
+        let mut exists_counts: Vec<usize> = vec![0; world_ids.len()];
+        let mut exists_this_world: Vec<bool> = vec![false; world_ids.len()];
+        let mut touched: Vec<usize> = Vec::with_capacity(world_ids.len());
+        let query_positions: Vec<Point> = times
+            .iter()
+            .map(|&t| query.position_at(t).expect("query validated"))
+            .collect();
+        let mut world = PossibleWorld::empty();
+        // Scratch: distances of the objects alive at the current timestamp,
+        // as (distance², world position) pairs.
+        let mut alive: Vec<(f64, usize)> = Vec::with_capacity(world_ids.len());
 
-        for _ in 0..self.config.num_samples {
-            let world = sampler.sample_world(&mut rng);
-            // `trajectories()` feeds the NN primitives directly — no per-world
-            // `as_refs` Vec is allocated in this hot loop.
-            let profile = NnTimeProfile::compute_knn(world.trajectories(), space, times, |t| {
-                query.position_at(t).expect("query validated")
-            }, k);
-            for (id, mask) in profile.iter() {
-                if mask.any() {
-                    *exists_counts.entry(id).or_insert(0) += 1;
+        // States past the last query timestamp are never read, so only the
+        // walk prefixes up to `query.end()` are materialised (the tail steps
+        // still burn their RNG draws, keeping worlds bit-identical).
+        let horizon = query.end();
+        for w in 0..num_worlds {
+            sampler.sample_world_prefix_into(&mut rng, &mut world, horizon);
+            let trajectories = world.trajectories();
+            for (i, &t) in times.iter().enumerate() {
+                if k == 0 {
+                    break;
+                }
+                let q = &query_positions[i];
+                alive.clear();
+                for (j, (_, trajectory)) in trajectories.iter().enumerate() {
+                    if let Some(s) = trajectory.state_at(t) {
+                        alive.push((space.position(s).dist2(q), j));
+                    }
+                }
+                if alive.is_empty() {
+                    continue;
+                }
+                // NN membership cutoff: the k-th smallest distance; every
+                // object at or below it is in the kNN set (boundary ties
+                // included), matching the tie semantics of
+                // `ust_trajectory::nn`.
+                let cutoff = if k == 1 {
+                    alive.iter().map(|&(d, _)| d).fold(f64::INFINITY, f64::min)
+                } else {
+                    let nth = (k - 1).min(alive.len() - 1);
+                    alive.select_nth_unstable_by(nth, |a, b| a.0.total_cmp(&b.0));
+                    alive[nth].0
+                };
+                for &(d, j) in &alive {
+                    if d <= cutoff {
+                        if !exists_this_world[j] {
+                            exists_this_world[j] = true;
+                            touched.push(j);
+                        }
+                        if let Some(slot) = slot_of[j] {
+                            candidate_worlds[slot].1.record(i, w);
+                        }
+                    }
                 }
             }
-            for (&id, masks) in candidate_masks.iter_mut() {
-                let mask = profile
-                    .mask(id)
-                    .cloned()
-                    .unwrap_or_else(|| TimeMask::new(times.len()));
-                masks.push(mask);
+            for &j in &touched {
+                exists_counts[j] += 1;
+                exists_this_world[j] = false;
             }
+            touched.clear();
         }
         let sampling_time = start.elapsed();
 
         Ok(SamplingOutput {
-            candidate_masks,
-            exists_counts,
-            worlds: self.config.num_samples,
+            candidate_worlds,
+            exists_counts: world_ids.into_iter().zip(exists_counts).collect(),
+            worlds: num_worlds,
             adaptation_time,
             cache_hits,
             cold_adaptations,
@@ -349,6 +428,7 @@ impl<'a> QueryEngine<'a> {
             cold_adaptations: sampling.cold_adaptations,
             sampling_time: sampling.sampling_time,
             worlds: sampling.worlds,
+            ..Default::default()
         }
     }
 
@@ -380,12 +460,14 @@ impl<'a> QueryEngine<'a> {
         let (candidates, influencers) = self.filter_knn(query, k)?;
         let sampling = self.sample(query, &candidates, &influencers, k)?;
         let mut results: Vec<ObjectProbability> = sampling
-            .candidate_masks
+            .candidate_worlds
             .iter()
-            .map(|(&object, masks)| {
-                let hits = masks.iter().filter(|m| m.all()).count();
+            .map(|(object, worlds)| {
+                // The ∀ event is one AND-reduction over the candidate's
+                // world-set columns — no per-world mask is ever materialised.
+                let hits = worlds.forall_support();
                 ObjectProbability {
-                    object,
+                    object: *object,
                     probability: hits as f64 / sampling.worlds.max(1) as f64,
                 }
             })
@@ -410,7 +492,7 @@ impl<'a> QueryEngine<'a> {
         let mut results: Vec<ObjectProbability> = sampling
             .exists_counts
             .iter()
-            .map(|(&object, &hits)| ObjectProbability {
+            .map(|&(object, hits)| ObjectProbability {
                 object,
                 probability: hits as f64 / sampling.worlds.max(1) as f64,
             })
@@ -428,6 +510,12 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// PCkNNQ (Section 8): the continuous query under k-NN semantics.
+    ///
+    /// Each candidate's lattice is mined vertically
+    /// ([`vertical_timesets`]) and the per-object runs are fanned out across
+    /// [`pcnn_threads`](EngineConfig::pcnn_threads) scoped workers. Results
+    /// are merged back in ascending object order, so the outcome is
+    /// byte-identical at every thread count.
     pub fn pcknn(&self, query: &Query, k: usize, tau: f64) -> Result<PcnnOutcome, QueryError> {
         Query::validate_threshold(tau)?;
         let (candidates, influencers) = self.filter_knn(query, k)?;
@@ -438,14 +526,19 @@ impl<'a> QueryEngine<'a> {
             PcnnConfig::new(tau)
         };
         let times = query.times();
+        let lattices: Vec<PcnnResult> = parallel_map_ordered(
+            &sampling.candidate_worlds,
+            self.config.pcnn_threads,
+            |(_, worlds)| vertical_timesets(worlds, &cfg),
+        );
         let mut candidate_sets_evaluated = 0usize;
+        let mut max_level = 0usize;
+        let mut frontier_peak = 0usize;
         let mut results: Vec<PcnnObjectResult> = Vec::new();
-        let mut ordered: Vec<ObjectId> = sampling.candidate_masks.keys().copied().collect();
-        ordered.sort_unstable();
-        for object in ordered {
-            let masks = &sampling.candidate_masks[&object];
-            let lattice = apriori_timesets(masks, times.len(), &cfg);
+        for ((object, _), lattice) in sampling.candidate_worlds.iter().zip(lattices) {
             candidate_sets_evaluated += lattice.candidate_sets_evaluated;
+            max_level = max_level.max(lattice.max_level);
+            frontier_peak = frontier_peak.max(lattice.frontier_peak);
             if lattice.sets.is_empty() {
                 continue;
             }
@@ -456,17 +549,27 @@ impl<'a> QueryEngine<'a> {
                     (indices.into_iter().map(|i| times[i]).collect::<Vec<_>>(), p)
                 })
                 .collect();
-            results.push(PcnnObjectResult { object, sets });
+            results.push(PcnnObjectResult {
+                object: *object,
+                sets,
+                candidate_sets_evaluated: lattice.candidate_sets_evaluated,
+            });
         }
-        let stats = self.stats_from(&candidates, &influencers, &sampling);
+        let mut stats = self.stats_from(&candidates, &influencers, &sampling);
+        stats.max_level = max_level;
+        stats.frontier_peak = frontier_peak;
         Ok(PcnnOutcome { results, stats, candidate_sets_evaluated })
     }
 }
 
 /// Output of the internal sampling pass.
 struct SamplingOutput {
-    candidate_masks: FxHashMap<ObjectId, Vec<TimeMask>>,
-    exists_counts: FxHashMap<ObjectId, usize>,
+    /// Per candidate (ascending object order), the transposed world-set: one
+    /// bitset over worlds per query timestamp.
+    candidate_worlds: Vec<(ObjectId, WorldSet)>,
+    /// Per influence object (sampler order), the number of worlds with at
+    /// least one NN timestamp (the ∃ event of Definition 1).
+    exists_counts: Vec<(ObjectId, usize)>,
     worlds: usize,
     adaptation_time: Duration,
     cache_hits: usize,

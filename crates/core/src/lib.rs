@@ -26,7 +26,8 @@
 //!   batched and parallelised by the stampede-free [`prepare`] subsystem),
 //!   Monte-Carlo sampling of possible worlds (`ust-sampling`) and
 //!   certain-world NN evaluation (`ust-trajectory`). PCNN uses the
-//!   Apriori-style lattice of Algorithm 1 ([`pcnn`]).
+//!   Apriori-style lattice of Algorithm 1, mined vertically over per-timestamp
+//!   world bitsets ([`pcnn`], [`pcnn::WorldSet`]).
 //! * [`exact`] — exponential possible-world enumeration, feasible only for
 //!   tiny instances; serves as the correctness reference (P∃NN is NP-hard,
 //!   Section 4.1).
@@ -53,7 +54,7 @@ pub mod snapshot;
 pub use engine::{EngineConfig, QueryEngine};
 pub use prepare::{AdaptationCache, CacheStats, PrepareOutcome};
 pub use exact::{ExactError, ExactResult};
-pub use pcnn::{PcnnConfig, PcnnResult};
+pub use pcnn::{PcnnConfig, PcnnResult, WorldSet};
 pub use query::{Query, QueryError};
 pub use results::{ObjectProbability, PcnnOutcome, QueryOutcome, QueryStats};
 

@@ -25,20 +25,40 @@ pub const PROB_EPSILON: f64 = 1e-9;
 /// The distribution of an uncertain object at one timestamp (`~s^o(t)` in the
 /// paper) has support bounded by the states reachable between the two
 /// enclosing observations, which is tiny compared to `|S|`.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SparseDist {
     entries: Vec<(StateId, f64)>,
+    /// Cached sum of all probabilities, kept in sync by every constructor and
+    /// by [`normalize`](Self::normalize) — always computed by the same
+    /// left-to-right fold over `entries`, so it is bit-identical to summing on
+    /// demand. [`sample_with`](Self::sample_with) runs once per chain step of
+    /// every sampled possible world; re-summing there dominated the draw.
+    mass: f64,
+}
+
+/// The left-to-right probability fold shared by the `mass` cache and the
+/// pre-cache `total_mass()`.
+fn mass_of(entries: &[(StateId, f64)]) -> f64 {
+    entries.iter().map(|&(_, p)| p).sum()
+}
+
+impl Default for SparseDist {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SparseDist {
     /// The empty (all-zero) distribution.
     pub fn new() -> Self {
-        SparseDist { entries: Vec::new() }
+        SparseDist { entries: Vec::new(), mass: mass_of(&[]) }
     }
 
     /// A point mass (Dirac delta) on `state`.
     pub fn delta(state: StateId) -> Self {
-        SparseDist { entries: vec![(state, 1.0)] }
+        let entries = vec![(state, 1.0)];
+        let mass = mass_of(&entries);
+        SparseDist { entries, mass }
     }
 
     /// Builds a distribution from `(state, weight)` pairs.
@@ -54,7 +74,8 @@ impl SparseDist {
         }
         let mut entries: Vec<(StateId, f64)> = map.into_iter().collect();
         entries.sort_unstable_by_key(|&(s, _)| s);
-        SparseDist { entries }
+        let mass = mass_of(&entries);
+        SparseDist { entries, mass }
     }
 
     /// Uniform distribution over the given support.
@@ -66,7 +87,9 @@ impl SparseDist {
             return SparseDist::new();
         }
         let p = 1.0 / states.len() as f64;
-        SparseDist { entries: states.into_iter().map(|s| (s, p)).collect() }
+        let entries: Vec<(StateId, f64)> = states.into_iter().map(|s| (s, p)).collect();
+        let mass = mass_of(&entries);
+        SparseDist { entries, mass }
     }
 
     /// Number of states with non-zero probability.
@@ -99,9 +122,11 @@ impl SparseDist {
         self.entries.iter().map(|&(s, _)| s)
     }
 
-    /// Sum of all probabilities.
+    /// Sum of all probabilities (cached; see the `mass` field).
+    #[inline]
     pub fn total_mass(&self) -> f64 {
-        self.entries.iter().map(|&(_, p)| p).sum()
+        debug_assert_eq!(self.mass.to_bits(), mass_of(&self.entries).to_bits());
+        self.mass
     }
 
     /// Scales all probabilities so they sum to one.
@@ -116,6 +141,7 @@ impl SparseDist {
         for (_, p) in &mut self.entries {
             *p /= mass;
         }
+        self.mass = mass_of(&self.entries);
         true
     }
 
@@ -157,7 +183,8 @@ impl SparseDist {
     /// list. Used by the hot paths of the adaptation algorithm.
     pub(crate) fn from_sorted_unchecked(entries: Vec<(StateId, f64)>) -> Self {
         debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries must be sorted");
-        SparseDist { entries }
+        let mass = mass_of(&entries);
+        SparseDist { entries, mass }
     }
 
     /// Access to the raw entries.

@@ -33,9 +33,65 @@ impl<'a> PosteriorSampler<'a> {
     /// Draws one trajectory covering `[start, end]` of the adapted model.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> Trajectory {
         let start = self.model.start();
+        let mut states = Vec::with_capacity((self.model.end() - start) as usize + 1);
+        self.walk(rng, &mut states);
+        Trajectory::new(start, states)
+    }
+
+    /// Draws one trajectory *into* an existing buffer, reusing its state
+    /// allocation. Consumes the RNG exactly like [`sample`](Self::sample), so
+    /// a loop of `sample_into` calls produces bit-identical worlds to a loop
+    /// of `sample` calls — just without one heap allocation per draw.
+    pub fn sample_into<R: Rng>(&self, rng: &mut R, out: &mut Trajectory) {
+        self.sample_prefix_into(rng, out, self.model.end());
+    }
+
+    /// Draws the trajectory prefix covering `[start, min(horizon, end)]` into
+    /// an existing buffer.
+    ///
+    /// Every step of the chain consumes exactly one RNG draw *whether or not
+    /// its transition is materialised*, so this method burns the draws of the
+    /// steps past `horizon` without paying their transition-row lookup and
+    /// distribution scan: the RNG stream — and therefore every subsequent
+    /// object and world — stays bit-identical to a full
+    /// [`sample_into`](Self::sample_into). A query engine whose last query
+    /// timestamp is `horizon` reads identical states either way; the
+    /// Monte-Carlo loop saves the tail of every walk.
+    pub fn sample_prefix_into<R: Rng>(&self, rng: &mut R, out: &mut Trajectory, horizon: u32) {
+        let start = self.model.start();
+        let end = self.model.end();
+        let keep_until = horizon.min(end);
+        out.refill(start, |states| {
+            states.reserve((keep_until.saturating_sub(start)) as usize + 1);
+            let first = self.model.observations()[0].1;
+            states.push(first);
+            let mut current = first;
+            for t in start..end {
+                let u = rng.gen::<f64>();
+                if t >= keep_until {
+                    // Draw consumed, transition skipped: states past the
+                    // horizon are never read.
+                    continue;
+                }
+                let row = self
+                    .model
+                    .transition_row(t, current)
+                    .expect("reachable states always have an adapted transition row");
+                let next = row
+                    .sample_with(u)
+                    .expect("adapted transition rows are never empty");
+                states.push(next);
+                current = next;
+            }
+        });
+    }
+
+    /// The random walk of [`sample`](Self::sample).
+    fn walk<R: Rng>(&self, rng: &mut R, states: &mut Vec<u32>) {
+        let start = self.model.start();
         let end = self.model.end();
         let first = self.model.observations()[0].1;
-        let mut states = Vec::with_capacity((end - start) as usize + 1);
+        states.reserve((end - start) as usize + 1);
         states.push(first);
         let mut current = first;
         for t in start..end {
@@ -49,7 +105,6 @@ impl<'a> PosteriorSampler<'a> {
             states.push(next);
             current = next;
         }
-        Trajectory::new(start, states)
     }
 
     /// Draws `n` independent trajectories.
@@ -134,6 +189,29 @@ mod tests {
         let p_detour = counts.get(&vec![1, 2, 0]).copied().unwrap_or(0) as f64 / n as f64;
         assert!((p_direct - 2.0 / 3.0).abs() < 0.02, "p_direct = {p_direct}");
         assert!((p_detour - 1.0 / 3.0).abs() < 0.02, "p_detour = {p_detour}");
+    }
+
+    #[test]
+    fn prefix_sampling_keeps_the_rng_stream_and_prefix_states_identical() {
+        let model = o1_model();
+        let adapted = AdaptedModel::build(&model, &[(0, 1), (2, 2), (6, 0)]).unwrap();
+        let sampler = PosteriorSampler::new(&adapted);
+        for horizon in [0u32, 1, 3, 6, 100] {
+            let mut rng_full = StdRng::seed_from_u64(31);
+            let mut rng_prefix = StdRng::seed_from_u64(31);
+            let mut prefix = Trajectory::new(0, vec![0]);
+            for _ in 0..50 {
+                let full = sampler.sample(&mut rng_full);
+                sampler.sample_prefix_into(&mut rng_prefix, &mut prefix, horizon);
+                assert_eq!(prefix.start(), full.start());
+                assert_eq!(prefix.end(), full.end().min(horizon.max(full.start())));
+                for t in prefix.start()..=prefix.end() {
+                    assert_eq!(prefix.state_at(t), full.state_at(t), "t={t} horizon={horizon}");
+                }
+            }
+            // Both streams must have consumed the same number of draws.
+            assert_eq!(rng_full.gen::<u64>(), rng_prefix.gen::<u64>());
+        }
     }
 
     #[test]

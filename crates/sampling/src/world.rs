@@ -20,6 +20,12 @@ pub struct PossibleWorld {
 }
 
 impl PossibleWorld {
+    /// Creates a world with no objects, to be filled by
+    /// [`WorldSampler::sample_world_into`].
+    pub fn empty() -> Self {
+        PossibleWorld { trajectories: Vec::new() }
+    }
+
     /// The sampled trajectories, in the sampler's object order.
     pub fn trajectories(&self) -> &[(ObjectId, Trajectory)] {
         &self.trajectories
@@ -107,6 +113,45 @@ impl WorldSampler {
     pub fn sample_worlds<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<PossibleWorld> {
         (0..n).map(|_| self.sample_world(rng)).collect()
     }
+
+    /// Draws one possible world *into* an existing buffer, reusing each
+    /// trajectory's state allocation across draws. Consumes the RNG exactly
+    /// like [`sample_world`](Self::sample_world), so a Monte-Carlo loop that
+    /// switches to this method observes bit-identical worlds — the engine's
+    /// hot loop used to pay one trajectory allocation per object per world.
+    pub fn sample_world_into<R: Rng>(&self, rng: &mut R, world: &mut PossibleWorld) {
+        self.sample_world_prefix_into(rng, world, u32::MAX);
+    }
+
+    /// Like [`sample_world_into`](Self::sample_world_into), but only the
+    /// trajectory prefixes up to `horizon` are materialised
+    /// ([`PosteriorSampler::sample_prefix_into`]). RNG consumption — and
+    /// hence every sampled state at timestamps `≤ horizon` — is bit-identical
+    /// to the full draw; the walk tails past the horizon only burn their RNG
+    /// draws. This is the query engine's hot call: its NN evaluation never
+    /// reads states after the last query timestamp.
+    pub fn sample_world_prefix_into<R: Rng>(
+        &self,
+        rng: &mut R,
+        world: &mut PossibleWorld,
+        horizon: u32,
+    ) {
+        world.trajectories.truncate(self.models.len());
+        for (i, (id, model)) in self.models.iter().enumerate() {
+            let sampler = PosteriorSampler::new(model);
+            match world.trajectories.get_mut(i) {
+                Some((slot_id, trajectory)) => {
+                    *slot_id = *id;
+                    sampler.sample_prefix_into(rng, trajectory, horizon);
+                }
+                None => {
+                    let mut trajectory = Trajectory::new(model.start(), vec![0]);
+                    sampler.sample_prefix_into(rng, &mut trajectory, horizon);
+                    world.trajectories.push((*id, trajectory));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +198,19 @@ mod tests {
         assert_eq!(refs.len(), 2);
         assert_eq!(refs[0].0, 1);
         assert_eq!(refs[1].0, 2);
+    }
+
+    #[test]
+    fn sample_world_into_is_bit_identical_to_sample_world() {
+        let sampler = two_object_sampler();
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        let mut reused = PossibleWorld::empty();
+        for _ in 0..40 {
+            let fresh = sampler.sample_world(&mut rng_a);
+            sampler.sample_world_into(&mut rng_b, &mut reused);
+            assert_eq!(fresh.trajectories(), reused.trajectories());
+        }
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use certain::Trajectory;
 pub use database::TrajectoryDatabase;
 pub use nn::{knn_members_at, nn_objects_at, NnTimeProfile};
 pub use object::{ObjectId, Observation, ObservationError, UncertainObject};
-pub use timemask::TimeMask;
+pub use timemask::{iter_set_bits, TimeMask};
 
 pub use ust_markov::Timestamp;
 pub use ust_spatial::StateId;

@@ -100,9 +100,22 @@ impl TimeMask {
         self.words.iter().zip(&other.words).all(|(&a, &b)| b & !a == 0)
     }
 
-    /// Indices of set bits, ascending.
+    /// Number of bits set in both `self` and `other` (`|self ∩ other|`),
+    /// without materialising the intersection mask.
+    pub fn intersection_count(&self, other: &TimeMask) -> usize {
+        debug_assert_eq!(self.len, other.len, "masks must have equal length");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Indices of set bits, ascending. Iterates word-wise via
+    /// [`iter_set_bits`], so sparse masks cost one iteration per *set* bit
+    /// (plus one per word), not one per addressable bit.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(move |&i| self.get(i))
+        iter_set_bits(&self.words)
     }
 
     /// In-place union with `other`.
@@ -120,6 +133,27 @@ impl TimeMask {
             *a &= b;
         }
     }
+}
+
+/// Indices of the set bits of a raw `u64` bitset, ascending (bit 0 of
+/// `words[0]` is index 0). The word-wise `trailing_zeros` loop shared by
+/// [`TimeMask::iter_ones`] and the vertical PCNN world-set columns in
+/// `ust-core`, which store worlds-per-timestamp bitsets as plain word slices.
+pub fn iter_set_bits(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &word)| {
+        std::iter::from_fn({
+            let mut rest = word;
+            move || {
+                if rest == 0 {
+                    None
+                } else {
+                    let bit = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    Some(wi * 64 + bit)
+                }
+            }
+        })
+    })
 }
 
 #[cfg(test)]
@@ -178,5 +212,39 @@ mod tests {
     fn out_of_range_set_panics() {
         let mut m = TimeMask::new(4);
         m.set(4);
+    }
+
+    #[test]
+    fn word_wise_iter_ones_matches_bit_by_bit() {
+        // Indices straddling word boundaries, including bit 63/64 and the tail.
+        let indices = [0usize, 1, 7, 62, 63, 64, 65, 100, 129];
+        let m = TimeMask::from_indices(130, indices.iter().copied());
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), indices);
+        let reference: Vec<usize> = (0..m.len()).filter(|&i| m.get(i)).collect();
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), reference);
+        assert!(TimeMask::new(130).iter_ones().next().is_none());
+        let full = TimeMask::full(70);
+        assert_eq!(full.iter_ones().count(), 70);
+    }
+
+    #[test]
+    fn intersection_count_avoids_materialising_the_mask() {
+        let a = TimeMask::from_indices(130, [0, 5, 63, 64, 100, 129]);
+        let b = TimeMask::from_indices(130, [5, 63, 65, 129]);
+        assert_eq!(a.intersection_count(&b), 3);
+        assert_eq!(b.intersection_count(&a), 3);
+        let mut materialised = a.clone();
+        materialised.intersect_with(&b);
+        assert_eq!(a.intersection_count(&b), materialised.count_ones());
+        assert_eq!(a.intersection_count(&TimeMask::new(130)), 0);
+    }
+
+    #[test]
+    fn raw_word_iteration_matches_mask_iteration() {
+        let indices = [3usize, 64, 65, 127, 128];
+        let m = TimeMask::from_indices(129, indices.iter().copied());
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), indices);
+        assert_eq!(iter_set_bits(&[0b1010, 0b1]).collect::<Vec<_>>(), vec![1, 3, 64]);
+        assert!(iter_set_bits(&[]).next().is_none());
     }
 }

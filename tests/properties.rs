@@ -200,6 +200,7 @@ proptest! {
         let mut inter = a.clone();
         inter.intersect_with(&b);
         prop_assert_eq!(inter.count_ones(), a_set.intersection(&b_set).count());
+        prop_assert_eq!(a.intersection_count(&b), a_set.intersection(&b_set).count());
     }
 }
 
