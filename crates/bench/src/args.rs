@@ -26,11 +26,26 @@ pub struct RunSettings {
     /// `Some(0)` = explicitly requested available parallelism, `Some(n)` = a
     /// fixed count.
     pub adaptation_threads: Option<usize>,
+    /// Path to a T-Drive-format CSV to ingest instead of generating the
+    /// simulated workload. Only fig09 honours this; the other figure
+    /// binaries reject it via [`RunSettings::reject_ingest_flags`].
+    pub csv_path: Option<String>,
+    /// Explicit object-count override for the sweep (fig09 only, like
+    /// `--csv`). With `--csv`, requesting more objects than the file yields
+    /// is a typed `UnknownObject` error.
+    pub objects: Option<usize>,
 }
 
 impl Default for RunSettings {
     fn default() -> Self {
-        RunSettings { scale: RunScale::Default, json_path: None, seed: 0, adaptation_threads: None }
+        RunSettings {
+            scale: RunScale::Default,
+            json_path: None,
+            seed: 0,
+            adaptation_threads: None,
+            csv_path: None,
+            objects: None,
+        }
     }
 }
 
@@ -38,6 +53,20 @@ impl RunSettings {
     /// Parses `std::env::args()`. Unknown flags abort with a usage message.
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// Aborts with a usage error if the ingestion flags (`--csv`,
+    /// `--objects`) were given to a binary that does not honour them — only
+    /// `fig09_realdata_vary_objects` ingests real data, and silently running
+    /// the simulated workload after the user pointed at a file would record
+    /// results with wrong provenance.
+    pub fn reject_ingest_flags(&self, binary: &str) {
+        if self.csv_path.is_some() || self.objects.is_some() {
+            usage_and_exit(&format!(
+                "{binary} does not support --csv/--objects; only \
+                 fig09_realdata_vary_objects ingests real data"
+            ));
+        }
     }
 
     /// Parses an explicit argument list (used by tests).
@@ -62,6 +91,16 @@ impl RunSettings {
                     Some(threads) => settings.adaptation_threads = Some(threads),
                     None => usage_and_exit("--threads requires an integer argument (0 = auto)"),
                 },
+                "--csv" => {
+                    settings.csv_path = iter.next();
+                    if settings.csv_path.is_none() {
+                        usage_and_exit("--csv requires a path argument");
+                    }
+                }
+                "--objects" => match iter.next().and_then(|s| s.parse().ok()) {
+                    Some(objects) => settings.objects = Some(objects),
+                    None => usage_and_exit("--objects requires an integer argument"),
+                },
                 "--help" | "-h" => usage_and_exit(""),
                 other => usage_and_exit(&format!("unknown argument: {other}")),
             }
@@ -75,7 +114,8 @@ fn usage_and_exit(message: &str) -> ! {
         eprintln!("error: {message}");
     }
     eprintln!(
-        "usage: <figure binary> [--quick | --paper-scale] [--seed N] [--threads N] [--json <path>]"
+        "usage: <figure binary> [--quick | --paper-scale] [--seed N] [--threads N] \
+         [--json <path>] [--csv <path>] [--objects N]"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
@@ -108,6 +148,16 @@ mod tests {
         assert_eq!(s.json_path.as_deref(), Some("/tmp/out.json"));
         assert_eq!(s.seed, 42);
         assert_eq!(s.adaptation_threads, None, "absent flag stays distinguishable");
+    }
+
+    #[test]
+    fn csv_and_objects_flags() {
+        let s = parse(&["--csv", "tests/data/tdrive_small.csv", "--objects", "4"]);
+        assert_eq!(s.csv_path.as_deref(), Some("tests/data/tdrive_small.csv"));
+        assert_eq!(s.objects, Some(4));
+        let s = parse(&[]);
+        assert_eq!(s.csv_path, None);
+        assert_eq!(s.objects, None);
     }
 
     #[test]

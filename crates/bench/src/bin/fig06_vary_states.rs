@@ -16,6 +16,7 @@ use ust_core::{EngineConfig, QueryEngine};
 
 fn main() {
     let settings = RunSettings::from_env();
+    settings.reject_ingest_flags("fig06_vary_states");
     let params = ScaleParams::for_scale(settings.scale);
     let threads = resolve_adaptation_threads(settings.adaptation_threads.unwrap_or(0));
     let sweep: Vec<usize> = match settings.scale {

@@ -1,16 +1,30 @@
-//! Figure 9: P∀NNQ / P∃NNQ efficiency on the (simulated) taxi dataset while
-//! varying the number of objects.
+//! Figure 9: P∀NNQ / P∃NNQ efficiency on the taxi dataset while varying the
+//! number of objects.
 //!
 //! The paper uses map-matched Beijing T-Drive taxi traces on a 68 902-state
-//! road graph; this harness uses the simulated city road network documented in
-//! DESIGN.md §4. Paper sweep: |D| ∈ {1k, 10k, 20k}. Reported series: TS/FA/EX
-//! CPU times and |C(q)|/|I(q)|. Compared with Figure 8, the denser city-centre
-//! traffic yields larger candidate/influence sets at equal |D|.
+//! road graph. This harness supports both sides of that setup:
+//!
+//! * `--csv <path>` ingests genuinely T-Drive-formatted traces: the file is
+//!   streamed and parsed (`ust_generator::tdrive`), the fixes are snapped
+//!   onto the simulated city road graph and discretised into engine tics
+//!   (`ust_generator::map_match`), and the shared transition matrix is
+//!   learned by aggregating turning counts over the matched traces. Malformed
+//!   rows are reported (typed, line-numbered) and skipped. The sweep then
+//!   varies how many of the ingested taxis the database contains; requesting
+//!   more than the file yields (`--objects N`) surfaces a typed
+//!   `UnknownObject` error instead of panicking. Each row carries a `digest`
+//!   of the result set (timings excluded), which must be byte-identical
+//!   across runs and thread counts — CI asserts exactly that.
+//! * without `--csv` the simulated city workload of DESIGN.md §4 is
+//!   generated, as before. Paper sweep: |D| ∈ {1k, 10k, 20k}. Reported
+//!   series: TS/FA/EX CPU times and |C(q)|/|I(q)|.
 
 use ust_bench::datasets::{build_queries, build_taxi, ScaleParams};
 use ust_bench::efficiency::measure_efficiency;
+use ust_bench::ingest::{ingest_taxi_path, take_objects, IngestedTaxi};
 use ust_bench::{ExperimentReport, Row, RunScale, RunSettings};
 use ust_core::prepare::resolve_adaptation_threads;
+use ust_generator::Dataset;
 
 fn main() {
     let settings = RunSettings::from_env();
@@ -21,21 +35,37 @@ fn main() {
     // recorded in the report meta. fig06 reports the serial/parallel split
     // explicitly.
     let threads = settings.adaptation_threads.map_or(1, resolve_adaptation_threads);
-    let sweep: Vec<usize> = match settings.scale {
+    let report = match settings.csv_path.clone() {
+        Some(path) => run_ingested(&settings, &params, threads, &path),
+        None => run_simulated(&settings, &params, threads),
+    };
+    report.print();
+    report.maybe_write_json(&settings.json_path).expect("failed to write JSON report");
+}
+
+/// The default object sweep of the figure at the given scale.
+fn default_sweep(scale: RunScale) -> Vec<usize> {
+    match scale {
         RunScale::Quick => vec![50, 100, 200],
         RunScale::Default => vec![250, 1_000, 4_000],
         RunScale::Paper => vec![1_000, 10_000, 20_000],
-    };
+    }
+}
+
+/// The simulated-city path (no `--csv`), unchanged from earlier revisions.
+fn run_simulated(settings: &RunSettings, params: &ScaleParams, threads: usize) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "figure09_realdata_vary_objects",
         "Efficiency of P∀NNQ/P∃NNQ on the simulated taxi road network while varying |D| \
          (paper: Figure 9; series TS/FA/EX in seconds, |C(q)|/|I(q)| in objects)",
     )
     .with_meta("adaptation_threads", threads as f64);
+    // `--objects N` pins the sweep in simulated mode too, mirroring --csv.
+    let sweep = settings.objects.map_or_else(|| default_sweep(settings.scale), |n| vec![n]);
     for d in sweep {
         eprintln!("[fig09] |D| = {d}");
-        let dataset = build_taxi(&params, d, settings.seed);
-        let queries = build_queries(&dataset, &params, settings.seed);
+        let dataset = build_taxi(params, d, settings.seed);
+        let queries = build_queries(&dataset, params, settings.seed);
         let m = measure_efficiency(&dataset, &queries, params.num_samples, settings.seed, threads);
         report.push(
             Row::new(format!("|D|={d}"))
@@ -46,6 +76,108 @@ fn main() {
                 .with("|I(q)|", m.influencers),
         );
     }
-    report.print();
-    report.maybe_write_json(&settings.json_path).expect("failed to write JSON report");
+    report
+}
+
+/// The real-data path: ingest a T-Drive CSV and sweep over the ingested taxis.
+fn run_ingested(
+    settings: &RunSettings,
+    params: &ScaleParams,
+    threads: usize,
+    path: &str,
+) -> ExperimentReport {
+    let ingested: IngestedTaxi = match ingest_taxi_path(params, path, settings.seed) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    report_load_errors(&ingested);
+    let summary = ingested.dataset.database.summary();
+    if summary.objects == 0 {
+        eprintln!("error: no object of {path} survived parsing and map matching");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "[fig09] ingested {} objects / {} observations from {path} ({} fixes dropped)",
+        summary.objects,
+        summary.observations,
+        ingested.match_stats.dropped_fixes()
+    );
+
+    // With `--objects N` the sweep is exactly N (an over-ask is a typed
+    // error); otherwise the scale's default sweep, clamped to the number of
+    // ingested taxis and deduplicated.
+    let sweep: Vec<usize> = match settings.objects {
+        Some(n) => vec![n],
+        None => {
+            let mut sweep: Vec<usize> = default_sweep(settings.scale)
+                .into_iter()
+                .map(|d| d.min(summary.objects))
+                .collect();
+            sweep.dedup();
+            sweep
+        }
+    };
+
+    let mut report = ExperimentReport::new(
+        "figure09_realdata_vary_objects",
+        "Efficiency of P∀NNQ/P∃NNQ on map-matched T-Drive traces while varying |D| \
+         (paper: Figure 9; series TS/FA/EX in seconds, |C(q)|/|I(q)| in objects, \
+         digest = thread-independent FNV-1a of the result sets)",
+    )
+    .with_meta("adaptation_threads", threads as f64)
+    .with_meta("csv_lines", ingested.lines as f64)
+    .with_meta("load_errors", ingested.load_errors.len() as f64)
+    .with_meta("ingested_objects", summary.objects as f64)
+    .with_meta("ingested_observations", summary.observations as f64)
+    .with_meta("mean_observations", summary.mean_observations())
+    .with_meta("dropped_fixes", ingested.match_stats.dropped_fixes() as f64);
+    for d in sweep {
+        eprintln!("[fig09] |D| = {d}");
+        let database = match take_objects(&ingested.dataset.database, d) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!(
+                    "error: {e} — {d} objects requested but only {} were ingested",
+                    summary.objects
+                );
+                std::process::exit(2);
+            }
+        };
+        let dataset = Dataset {
+            network: ingested.dataset.network.clone(),
+            database,
+            ground_truth: Default::default(),
+        };
+        let queries = build_queries(&dataset, params, settings.seed);
+        let m = measure_efficiency(&dataset, &queries, params.num_samples, settings.seed, threads);
+        report.push(
+            Row::new(format!("|D|={d}"))
+                .with("TS", m.ts_seconds)
+                .with("FA", m.fa_seconds)
+                .with("EX", m.ex_seconds)
+                .with("|C(q)|", m.candidates)
+                .with("|I(q)|", m.influencers)
+                // 53-bit truncation keeps the digest exactly representable as
+                // an f64, so the JSON report round-trips it bit-for-bit.
+                .with("digest", (m.digest & ((1 << 53) - 1)) as f64),
+        );
+    }
+    report
+}
+
+/// Prints the typed load errors (first few verbatim, then a count).
+fn report_load_errors(ingested: &IngestedTaxi) {
+    const SHOWN: usize = 5;
+    for e in ingested.load_errors.iter().take(SHOWN) {
+        eprintln!("[fig09] skipped malformed row — {e}");
+    }
+    if ingested.load_errors.len() > SHOWN {
+        eprintln!(
+            "[fig09] ... and {} further malformed rows",
+            ingested.load_errors.len() - SHOWN
+        );
+    }
 }

@@ -35,7 +35,26 @@ pub struct EfficiencyOutcome {
     pub cold_adaptations: f64,
     /// Number of queries measured.
     pub queries: usize,
+    /// FNV-1a digest of the *result sets*: every query's P∀NN and P∃NN
+    /// outcome (object ids, probability bit patterns, candidate/influence
+    /// counts), in evaluation order. Timings are excluded, so two runs over
+    /// the same data at any thread count must produce the same digest — the
+    /// determinism witness of the real-data (`--csv`) harness.
+    pub digest: u64,
 }
+
+/// Folds one 64-bit word into an FNV-1a digest.
+fn fnv_fold(digest: u64, word: u64) -> u64 {
+    let mut d = digest;
+    for byte in word.to_le_bytes() {
+        d ^= u64::from(byte);
+        d = d.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    d
+}
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Runs the P∀NNQ / P∃NNQ efficiency measurement over a query workload.
 ///
@@ -58,7 +77,7 @@ pub fn measure_efficiency(
 /// engine construction can be shared with other measurements on the same
 /// dataset). The model cache is cleared before every P∀NNQ.
 pub fn measure_efficiency_on(engine: &QueryEngine, workload: &QueryWorkload) -> EfficiencyOutcome {
-    let mut out = EfficiencyOutcome::default();
+    let mut out = EfficiencyOutcome { digest: FNV_OFFSET, ..Default::default() };
     for spec in &workload.queries {
         let query = Query::at_point(spec.location, spec.times.iter().copied())
             .expect("workload queries are well-formed");
@@ -67,6 +86,14 @@ pub fn measure_efficiency_on(engine: &QueryEngine, workload: &QueryWorkload) -> 
         let forall = engine.pforall_nn(&query, 0.0).expect("query evaluation succeeds");
         // Warm cache: the P∃NNQ measures only the sampling/refinement cost.
         let exists = engine.pexists_nn(&query, 0.0).expect("query evaluation succeeds");
+        for outcome in [&forall, &exists] {
+            out.digest = fnv_fold(out.digest, outcome.stats.candidates as u64);
+            out.digest = fnv_fold(out.digest, outcome.stats.influencers as u64);
+            for r in &outcome.results {
+                out.digest = fnv_fold(out.digest, u64::from(r.object));
+                out.digest = fnv_fold(out.digest, r.probability.to_bits());
+            }
+        }
         out.ts_seconds += forall.stats.adaptation_time.as_secs_f64();
         out.fa_seconds += forall.stats.sampling_time.as_secs_f64();
         out.ex_seconds += exists.stats.sampling_time.as_secs_f64();
@@ -155,6 +182,8 @@ mod tests {
         assert_eq!(serial.candidates, parallel.candidates);
         assert_eq!(serial.influencers, parallel.influencers);
         assert_eq!(serial.cold_adaptations, parallel.cold_adaptations);
+        assert_eq!(serial.digest, parallel.digest, "result digest is thread-count independent");
+        assert_ne!(serial.digest, 0, "digest folds real data");
     }
 
     #[test]

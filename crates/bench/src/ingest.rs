@@ -1,0 +1,206 @@
+//! Real-data ingestion harness: T-Drive CSV → map-matched [`Dataset`].
+//!
+//! `fig09_realdata_vary_objects --csv <path>` and the determinism tests share
+//! this pipeline: build the road network of the selected scale, stream and
+//! parse the CSV (`ust_generator::tdrive`), snap the fixes onto the network
+//! (`ust_generator::map_match`), learn the shared transition matrix from the
+//! matched traces, and assemble the [`TrajectoryDatabase`] the query engine
+//! runs on. Every step is deterministic: equal file bytes and seed produce a
+//! byte-identical database, learned model and query result set at any thread
+//! count.
+
+use crate::datasets::ScaleParams;
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+use ust_core::QueryError;
+use ust_generator::map_match::{
+    learn_model_from_matches, map_match, GeoFrame, MapMatchConfig, MatchStats,
+};
+use ust_generator::tdrive::{self, LoadError, LoadOutcome};
+use ust_generator::{Dataset, RoadNetworkConfig};
+use ust_trajectory::{ObjectId, TrajectoryDatabase};
+
+/// Laplace smoothing used when learning the transition matrix from matched
+/// traces (the same value the simulated taxi workload uses).
+pub const INGEST_SMOOTHING: f64 = 0.05;
+
+/// The harness georeference: the simulated city is pinned to the
+/// [`GeoFrame::beijing`] box (the T-Drive study area), so fixtures rendered
+/// with that frame re-ingest losslessly and equal file bytes always mean
+/// equal network coordinates — a per-file fitted frame would rescale with
+/// the data's bounding box.
+pub fn ingest_frame() -> GeoFrame {
+    GeoFrame::beijing()
+}
+
+/// A dataset ingested from a T-Drive CSV, with ingestion observability.
+#[derive(Debug, Clone)]
+pub struct IngestedTaxi {
+    /// Network, database (map-matched observations) and the interpolated
+    /// per-tic reference paths in the `ground_truth` slot.
+    pub dataset: Dataset,
+    /// Total CSV lines read.
+    pub lines: usize,
+    /// Typed, line-numbered errors of the malformed rows.
+    pub load_errors: Vec<LoadError>,
+    /// Per-fix and per-object map-matching counters.
+    pub match_stats: MatchStats,
+}
+
+/// Ingests an in-memory T-Drive document onto the road network of the given
+/// scale (see the module docs for the pipeline).
+pub fn ingest_taxi_csv(params: &ScaleParams, csv: &str, seed: u64) -> IngestedTaxi {
+    ingest_load_outcome(params, tdrive::parse_str(csv), seed)
+}
+
+/// Ingests a T-Drive file from disk, streaming it line by line.
+pub fn ingest_taxi_path(
+    params: &ScaleParams,
+    path: &str,
+    seed: u64,
+) -> std::io::Result<IngestedTaxi> {
+    Ok(ingest_load_outcome(params, tdrive::load_path(path)?, seed))
+}
+
+fn ingest_load_outcome(params: &ScaleParams, load: LoadOutcome, seed: u64) -> IngestedTaxi {
+    let road = RoadNetworkConfig {
+        grid_width: params.taxi_grid,
+        grid_height: params.taxi_grid,
+        seed,
+        ..Default::default()
+    };
+    let network = road.generate();
+    let cfg = MapMatchConfig { frame: Some(ingest_frame()), ..Default::default() };
+    let matched = map_match(&network, &load.fixes, &cfg);
+    let model = Arc::new(learn_model_from_matches(&network, &matched.objects, INGEST_SMOOTHING));
+    let mut ground_truth = FxHashMap::default();
+    let mut objects = Vec::with_capacity(matched.objects.len());
+    for m in matched.objects {
+        ground_truth.insert(m.object.id(), m.path);
+        objects.push(m.object);
+    }
+    let database = TrajectoryDatabase::with_objects(network.space().clone(), model, objects);
+    IngestedTaxi {
+        dataset: Dataset { network, database, ground_truth },
+        lines: load.lines,
+        load_errors: load.errors,
+        match_stats: matched.stats,
+    }
+}
+
+/// The first `n` objects of a database (in insertion order — for ingested
+/// data: taxis ascending by input id, each taxi's sessions chronological),
+/// as a standalone database for one sweep point.
+///
+/// Requesting more objects than the database holds surfaces a typed
+/// [`QueryError::UnknownObject`] naming the first object id beyond the
+/// ingested range, instead of panicking — `fig09 --objects N` prints it
+/// (together with the requested/ingested counts) and exits cleanly. In the
+/// degenerate case where the id space is exhausted (`u32::MAX` is a real
+/// id), `u32::MAX` itself is named rather than wrapping onto id `0`, which
+/// could alias a present object.
+pub fn take_objects(db: &TrajectoryDatabase, n: usize) -> Result<TrajectoryDatabase, QueryError> {
+    let ids: Vec<ObjectId> = db.objects().iter().map(|o| o.id()).collect();
+    if n > ids.len() {
+        let max = ids.iter().copied().max();
+        let object = max.map_or(0, |m| m.checked_add(1).unwrap_or(ObjectId::MAX));
+        return Err(QueryError::UnknownObject { object });
+    }
+    db.subset(&ids[..n])
+        .map_err(|object| QueryError::UnknownObject { object })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::RunScale;
+    use ust_generator::map_match::GeoFrame;
+    use ust_generator::tdrive::render_workload;
+    use ust_generator::{ObjectWorkloadConfig, Timestamp};
+    use ust_spatial::StateId;
+    use ust_trajectory::UncertainObject;
+
+    /// Renders a small deterministic workload on the quick-scale ingest
+    /// network and returns it as T-Drive CSV.
+    fn quick_csv(seed: u64) -> String {
+        let params = ScaleParams::for_scale(RunScale::Quick);
+        let road = RoadNetworkConfig {
+            grid_width: params.taxi_grid,
+            grid_height: params.taxi_grid,
+            seed,
+            ..Default::default()
+        };
+        let network = road.generate();
+        // Deterministic network walks: each taxi follows generated shortest
+        // paths, observed every 4 tics.
+        let generated = ust_generator::objects::generate_objects(
+            &network,
+            &ObjectWorkloadConfig {
+                num_objects: 8,
+                lifetime: 40,
+                horizon: 120,
+                observation_interval: 4,
+                lag: 1.0,
+                standing_fraction: 0.0,
+                seed: seed.wrapping_add(7),
+            },
+            1,
+        );
+        let objects: Vec<UncertainObject> = generated.into_iter().map(|g| g.object).collect();
+        render_workload(network.space(), &objects, &GeoFrame::beijing(), 10, 1_201_900_000)
+    }
+
+    #[test]
+    fn rendered_workload_reingests_losslessly() {
+        let seed = 0;
+        let csv = quick_csv(seed);
+        let params = ScaleParams::for_scale(RunScale::Quick);
+        let ingested = ingest_taxi_csv(&params, &csv, seed);
+        assert!(ingested.load_errors.is_empty());
+        assert_eq!(ingested.match_stats.objects_matched, 8);
+        // Fixes sit exactly on states of the same network, and walks advance
+        // at most one hop per tic, so nothing is dropped.
+        assert_eq!(ingested.match_stats.dropped_fixes(), 0, "{:?}", ingested.match_stats);
+        assert_eq!(ingested.dataset.database.len(), 8);
+        assert!(ingested.dataset.database.shared_model().is_valid());
+        for o in ingested.dataset.database.objects() {
+            let path = ingested.dataset.ground_truth_of(o.id()).expect("path kept");
+            assert!(path.consistent_with(&o.observation_pairs()));
+        }
+    }
+
+    #[test]
+    fn ingestion_is_byte_deterministic() {
+        let csv = quick_csv(3);
+        let params = ScaleParams::for_scale(RunScale::Quick);
+        let a = ingest_taxi_csv(&params, &csv, 3);
+        let b = ingest_taxi_csv(&params, &csv, 3);
+        let obs = |i: &IngestedTaxi| -> Vec<(ObjectId, Vec<(Timestamp, StateId)>)> {
+            i.dataset
+                .database
+                .objects()
+                .iter()
+                .map(|o| (o.id(), o.observation_pairs()))
+                .collect()
+        };
+        assert_eq!(obs(&a), obs(&b));
+        assert_eq!(a.match_stats, b.match_stats);
+    }
+
+    #[test]
+    fn take_objects_surfaces_unknown_object_instead_of_panicking() {
+        let csv = quick_csv(1);
+        let params = ScaleParams::for_scale(RunScale::Quick);
+        let ingested = ingest_taxi_csv(&params, &csv, 1);
+        let db = &ingested.dataset.database;
+        let five = take_objects(db, 5).expect("5 of 8 objects exist");
+        assert_eq!(five.len(), 5);
+        let err = take_objects(db, 9).expect_err("only 8 objects were ingested");
+        match err {
+            QueryError::UnknownObject { object } => {
+                assert_eq!(object, 9, "names the first taxi id beyond the range")
+            }
+            other => panic!("expected UnknownObject, got {other:?}"),
+        }
+    }
+}

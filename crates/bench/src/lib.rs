@@ -26,6 +26,7 @@ pub mod continuous;
 pub mod datasets;
 pub mod effectiveness;
 pub mod efficiency;
+pub mod ingest;
 pub mod json;
 pub mod report;
 pub mod sampling_efficiency;

@@ -135,6 +135,13 @@ impl<'a> QueryEngine<'a> {
         self.db
     }
 
+    /// Ingested-observation statistics of the underlying database (see
+    /// [`ust_trajectory::DatabaseSummary`]): object and observation counts,
+    /// the per-object observation spread and the data-defined time horizon.
+    pub fn database_summary(&self) -> ust_trajectory::DatabaseSummary {
+        self.db.summary()
+    }
+
     /// The UST-tree, if the filter step is enabled.
     pub fn index(&self) -> Option<&UstTree> {
         self.index.as_ref()

@@ -60,4 +60,4 @@ pub use results::{ObjectProbability, PcnnOutcome, QueryOutcome, QueryStats};
 
 pub use ust_markov::Timestamp;
 pub use ust_spatial::StateId;
-pub use ust_trajectory::ObjectId;
+pub use ust_trajectory::{DatabaseSummary, ObjectId};

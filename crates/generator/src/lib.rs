@@ -18,23 +18,37 @@
 //!   map-matched Beijing T-Drive dataset (see DESIGN.md §4 for the
 //!   substitution rationale): a jittered city grid, a transition matrix
 //!   learned from training trips, center-biased trips and standing taxis.
+//! * [`tdrive`] — real-data ingestion: a streaming loader for T-Drive-format
+//!   CSV (`id,datetime,lon,lat`) with typed line-numbered errors, plus the
+//!   deterministic fixture writer rendering workloads back to that format.
+//! * [`mod@map_match`] — snapping raw GPS fixes onto a network: lon/lat
+//!   projection, nearest-state snap within a radius, tic discretisation,
+//!   shortest-path gap interpolation and model learning from matched traces.
 //! * [`workload`] — datasets (database + ground truth) and query generators.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod grid;
+pub mod map_match;
 pub mod network;
 pub mod objects;
 pub mod road_network;
 pub mod synthetic;
+pub mod tdrive;
 pub mod workload;
 
+pub use map_match::{
+    learn_model_from_matches, map_match, GeoFrame, MapMatchConfig, MapMatchOutcome, MatchStats,
+    MatchedObject,
+};
 pub use network::Network;
 pub use objects::{GeneratedObject, ObjectWorkloadConfig};
 pub use road_network::{RoadNetworkConfig, TaxiWorkloadConfig};
 pub use synthetic::SyntheticNetworkConfig;
+pub use tdrive::{LoadError, LoadErrorKind, LoadOutcome, RawFix};
 pub use workload::{Dataset, QueryWorkload, QueryWorkloadConfig};
 
 pub use ust_markov::Timestamp;
 pub use ust_spatial::StateId;
+pub use ust_trajectory::ObjectId;

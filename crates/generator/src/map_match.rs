@@ -1,0 +1,724 @@
+//! Map matching: snapping raw GPS fixes onto the road-network state graph.
+//!
+//! The paper's real-data setup map-matches Beijing T-Drive GPS logs onto a
+//! reduced OpenStreetMap graph and discretises time into one tic per 10
+//! seconds. This module implements that pipeline over any [`Network`]
+//! (DESIGN.md §4):
+//!
+//! 1. **Projection** — lon/lat is mapped linearly into the network's unit
+//!    coordinate space through a [`GeoFrame`] (either given explicitly or
+//!    fitted to the data's bounding box).
+//! 2. **Time discretisation** — fix times become engine tics,
+//!    `tick = (seconds - origin) / tick_seconds`; a later fix landing in an
+//!    already-occupied tic is dropped (first fix wins), a fix whose tic
+//!    overflows the tic domain is dropped as out-of-window, and a fix more
+//!    than [`MapMatchConfig::max_gap`] tics after the previously kept one
+//!    starts a new *session* (a separate database object) — overnight
+//!    parking breaks keep their data, while neither they nor a mistyped
+//!    far-future timestamp can balloon the interpolation.
+//! 3. **Nearest-state snap** — each fix snaps to the nearest network state
+//!    through a spatial hash grid; fixes farther than
+//!    [`MapMatchConfig::snap_radius`] from any state are rejected as
+//!    outliers.
+//! 4. **Feasibility** — a snapped fix is kept only if the network allows a
+//!    path from the previously kept state within the tic gap (one hop per
+//!    tic, waiting allowed); otherwise the fix is dropped as infeasible.
+//!    A breadth-first search bounded by the gap is the exact minimum-hop
+//!    witness and only ever explores the gap-hop neighborhood.
+//! 5. **Gap interpolation** — between kept observations the object is
+//!    materialised along that minimum-hop path, one hop per tic and then
+//!    waiting, which yields a per-tic [`Trajectory`] used to learn the
+//!    shared transition matrix ("aggregating the turning probabilities at
+//!    crossroads") and kept as the reconstructed reference path.
+//!
+//! Every step is deterministic: equal input bytes produce byte-identical
+//! observations, statistics and learned models on every platform.
+
+use crate::grid::GridIndex;
+use crate::network::Network;
+use crate::tdrive::{group_fixes, RawFix};
+use crate::Timestamp;
+use rustc_hash::FxHashMap;
+use ust_markov::MarkovModel;
+use ust_spatial::{Point, StateId};
+use ust_trajectory::{ObjectId, Trajectory, UncertainObject};
+
+/// A linear georeference between WGS84 lon/lat degrees and the network's
+/// unit coordinate space (the simulated road networks live in `[0, 1]²`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoFrame {
+    /// Longitude mapped to network `x = 0`.
+    pub lon_min: f64,
+    /// Longitude mapped to network `x = 1`.
+    pub lon_max: f64,
+    /// Latitude mapped to network `y = 0`.
+    pub lat_min: f64,
+    /// Latitude mapped to network `y = 1`.
+    pub lat_max: f64,
+}
+
+impl GeoFrame {
+    /// Creates a frame.
+    ///
+    /// # Panics
+    /// Panics if either span is not strictly positive.
+    pub fn new(lon_min: f64, lon_max: f64, lat_min: f64, lat_max: f64) -> Self {
+        assert!(lon_max > lon_min, "longitude span must be positive");
+        assert!(lat_max > lat_min, "latitude span must be positive");
+        GeoFrame { lon_min, lon_max, lat_min, lat_max }
+    }
+
+    /// The frame used by the deterministic fixtures: a half-degree box over
+    /// central Beijing (the T-Drive study area).
+    pub fn beijing() -> Self {
+        GeoFrame::new(116.0, 116.5, 39.5, 40.0)
+    }
+
+    /// Fits a frame to the bounding box of the given fixes, or `None` for an
+    /// empty slice. Degenerate spans (all fixes on one meridian/parallel) are
+    /// widened symmetrically so the frame stays invertible.
+    pub fn fit(fixes: &[RawFix]) -> Option<Self> {
+        let first = fixes.first()?;
+        let (mut lon_min, mut lon_max) = (first.lon, first.lon);
+        let (mut lat_min, mut lat_max) = (first.lat, first.lat);
+        for f in fixes {
+            lon_min = lon_min.min(f.lon);
+            lon_max = lon_max.max(f.lon);
+            lat_min = lat_min.min(f.lat);
+            lat_max = lat_max.max(f.lat);
+        }
+        const MIN_SPAN: f64 = 1e-6;
+        if lon_max - lon_min < MIN_SPAN {
+            lon_min -= MIN_SPAN / 2.0;
+            lon_max += MIN_SPAN / 2.0;
+        }
+        if lat_max - lat_min < MIN_SPAN {
+            lat_min -= MIN_SPAN / 2.0;
+            lat_max += MIN_SPAN / 2.0;
+        }
+        Some(GeoFrame::new(lon_min, lon_max, lat_min, lat_max))
+    }
+
+    /// Projects lon/lat degrees into network coordinates.
+    pub fn to_network(&self, lon: f64, lat: f64) -> Point {
+        Point::new(
+            (lon - self.lon_min) / (self.lon_max - self.lon_min),
+            (lat - self.lat_min) / (self.lat_max - self.lat_min),
+        )
+    }
+
+    /// Projects a network position back to lon/lat degrees (inverse of
+    /// [`GeoFrame::to_network`]).
+    pub fn to_lonlat(&self, p: &Point) -> (f64, f64) {
+        (
+            self.lon_min + p.x * (self.lon_max - self.lon_min),
+            self.lat_min + p.y * (self.lat_max - self.lat_min),
+        )
+    }
+}
+
+/// Configuration of the map-matching pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct MapMatchConfig {
+    /// Maximum snap distance in network coordinate units; fixes farther from
+    /// every state are rejected as GPS outliers.
+    pub snap_radius: f64,
+    /// Seconds per engine tic (the paper discretises the taxi data at one tic
+    /// per 10 seconds).
+    pub tick_seconds: i64,
+    /// Unix seconds of tic 0; `None` anchors tic 0 at the earliest fix of the
+    /// input. Fixes before the origin are dropped.
+    pub origin_seconds: Option<i64>,
+    /// Georeference; `None` fits the frame to the input's bounding box.
+    pub frame: Option<GeoFrame>,
+    /// Maximum tic gap bridged *within* one object (the paper's database
+    /// horizon, 1 000 tics, by default). A fix farther than this from the
+    /// previously kept one starts a new *session*: the taxi's trace is split
+    /// into separate database objects rather than interpolated across the
+    /// gap — the gap interpolation materialises one state per tic, so an
+    /// unbounded gap (an overnight parking break, or a single mistyped
+    /// far-future year that still parses) would otherwise balloon one
+    /// object's path across millions of tics. The first session keeps the
+    /// taxi's id; later sessions get fresh ids beyond the largest input id
+    /// (see [`MatchedObject::source`]).
+    pub max_gap: Timestamp,
+}
+
+impl Default for MapMatchConfig {
+    fn default() -> Self {
+        MapMatchConfig {
+            snap_radius: 0.05,
+            tick_seconds: 10,
+            origin_seconds: None,
+            frame: None,
+            max_gap: 1_000,
+        }
+    }
+}
+
+/// Counters describing what happened to every input fix; the ingestion
+/// observability surfaced by `fig09 --csv` and asserted by the tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Input fixes handed to the matcher.
+    pub raw_fixes: usize,
+    /// Fixes kept as observations.
+    pub snapped: usize,
+    /// Fixes dropped: farther than the snap radius from every state.
+    pub out_of_radius: usize,
+    /// Fixes dropped: an earlier fix already occupies the same tic.
+    pub duplicate_tick: usize,
+    /// Fixes dropped: the network path from the previous kept state does not
+    /// fit into the tic gap (or the state is unreachable).
+    pub infeasible: usize,
+    /// Fixes dropped: timestamp before the configured origin.
+    pub before_origin: usize,
+    /// Fixes dropped: tic beyond the representable tic domain, or — only in
+    /// the degenerate case where an input id is `u32::MAX` — a later session
+    /// that could not be assigned a fresh object id. Large but representable
+    /// gaps are handled by a session split, not a drop.
+    pub out_of_window: usize,
+    /// Distinct object ids in the input.
+    pub objects_in: usize,
+    /// Objects that produced at least one observation.
+    pub objects_matched: usize,
+    /// Objects whose every fix was dropped.
+    pub objects_dropped: usize,
+    /// Additional sessions created by gaps larger than
+    /// [`MapMatchConfig::max_gap`] (`objects_matched` already counts them).
+    pub sessions_split: usize,
+}
+
+impl MatchStats {
+    /// Total fixes dropped by any rule.
+    pub fn dropped_fixes(&self) -> usize {
+        self.out_of_radius
+            + self.duplicate_tick
+            + self.infeasible
+            + self.before_origin
+            + self.out_of_window
+    }
+}
+
+/// One successfully matched object (one *session* of one input taxi).
+#[derive(Debug, Clone)]
+pub struct MatchedObject {
+    /// The uncertain object built from the kept (snapped, discretised)
+    /// observations — ready for the trajectory database and model adaptation.
+    pub object: UncertainObject,
+    /// The taxi id this session came from. Equals `object.id()` for a
+    /// taxi's first session; later sessions (started by a gap larger than
+    /// [`MapMatchConfig::max_gap`]) carry fresh object ids beyond the
+    /// largest input id, and this field links them back to their taxi.
+    pub source: ObjectId,
+    /// The shortest-path interpolation between the kept observations: one
+    /// state per tic from the first to the last observation (one hop per tic
+    /// along the network minimum-hop path, then waiting at the segment's
+    /// end). Sessions are interpolated independently, so no gap larger than
+    /// `max_gap` is ever materialised.
+    pub path: Trajectory,
+}
+
+/// Result of map-matching one T-Drive input onto a network.
+#[derive(Debug, Clone)]
+pub struct MapMatchOutcome {
+    /// Matched objects, grouped by taxi (ascending input id) with each
+    /// taxi's sessions in chronological order.
+    pub objects: Vec<MatchedObject>,
+    /// Per-fix and per-object counters.
+    pub stats: MatchStats,
+    /// The georeference that was used (given or fitted).
+    pub frame: GeoFrame,
+    /// Unix seconds of tic 0 (given or the earliest fix).
+    pub origin_seconds: i64,
+}
+
+impl MapMatchOutcome {
+    /// The matched uncertain objects, consumed into a plain vector (the input
+    /// of [`ust_trajectory::TrajectoryDatabase::with_objects`]).
+    pub fn into_objects(self) -> Vec<UncertainObject> {
+        self.objects.into_iter().map(|m| m.object).collect()
+    }
+}
+
+/// Snaps raw GPS fixes onto the network and discretises them into the
+/// engine's tic domain (see the module docs for the pipeline).
+pub fn map_match(network: &Network, fixes: &[RawFix], cfg: &MapMatchConfig) -> MapMatchOutcome {
+    assert!(cfg.tick_seconds > 0, "tick_seconds must be positive");
+    assert!(cfg.snap_radius > 0.0, "snap_radius must be positive");
+    let frame = cfg
+        .frame
+        .or_else(|| GeoFrame::fit(fixes))
+        .unwrap_or_else(GeoFrame::beijing);
+    let origin_seconds = cfg
+        .origin_seconds
+        .unwrap_or_else(|| fixes.iter().map(|f| f.seconds).min().unwrap_or(0));
+
+    let mut stats = MatchStats { raw_fixes: fixes.len(), ..Default::default() };
+    let points = network.space().positions();
+    let snapper = (!points.is_empty()).then(|| GridIndex::build(points, grid_cell(points)));
+    let mut finder = PathFinder::new(network.num_states());
+
+    let groups = group_fixes(fixes);
+    stats.objects_in = groups.len();
+    // Fresh object ids for second and later sessions start beyond the
+    // largest input id (groups are sorted ascending).
+    let mut next_session_id: Option<ObjectId> =
+        groups.last().and_then(|(id, _)| id.checked_add(1));
+    let mut objects = Vec::with_capacity(groups.len());
+    for (id, group) in groups {
+        // One taxi becomes one object per *session*: runs of fixes whose
+        // consecutive tic gaps stay within `max_gap`.
+        type Session = (Vec<(Timestamp, StateId)>, Vec<Vec<StateId>>);
+        let mut sessions: Vec<Session> = Vec::new();
+        for fix in &group {
+            let elapsed = fix.seconds - origin_seconds;
+            if elapsed < 0 {
+                stats.before_origin += 1;
+                continue;
+            }
+            let tick64 = elapsed / cfg.tick_seconds;
+            if tick64 > i64::from(Timestamp::MAX) {
+                stats.out_of_window += 1;
+                continue;
+            }
+            let tick = tick64 as Timestamp;
+            let p = frame.to_network(fix.lon, fix.lat);
+            let Some(state) = snapper.as_ref().and_then(|g| g.nearest(points, &p)) else {
+                stats.out_of_radius += 1;
+                continue;
+            };
+            if points[state as usize].dist(&p) > cfg.snap_radius {
+                stats.out_of_radius += 1;
+                continue;
+            }
+            let starts_new_session = match sessions.last().and_then(|(obs, _)| obs.last()) {
+                None => true,
+                Some(&(last_tick, _)) if tick == last_tick => {
+                    stats.duplicate_tick += 1;
+                    continue;
+                }
+                Some(&(last_tick, _)) => tick - last_tick > cfg.max_gap,
+            };
+            if starts_new_session {
+                if !sessions.is_empty() {
+                    stats.sessions_split += 1;
+                }
+                sessions.push((vec![(tick, state)], Vec::new()));
+                continue;
+            }
+            let (observations, segments) =
+                sessions.last_mut().expect("a session exists past the None arm");
+            let &(last_tick, last_state) = observations.last().expect("sessions are non-empty");
+            let gap = (tick - last_tick) as usize;
+            match finder.path_within(network, last_state, state, gap) {
+                Some(path) => {
+                    observations.push((tick, state));
+                    segments.push(path);
+                }
+                None => stats.infeasible += 1,
+            }
+        }
+        if sessions.is_empty() {
+            stats.objects_dropped += 1;
+            continue;
+        }
+        for (k, (observations, segments)) in sessions.into_iter().enumerate() {
+            let session_id = if k == 0 {
+                id
+            } else {
+                match next_session_id {
+                    Some(n) => {
+                        next_session_id = n.checked_add(1);
+                        n
+                    }
+                    // The id space is exhausted (an input id was u32::MAX);
+                    // the session cannot be represented.
+                    None => {
+                        stats.out_of_window += observations.len();
+                        continue;
+                    }
+                }
+            };
+            stats.snapped += observations.len();
+            stats.objects_matched += 1;
+            let path = interpolate(&observations, &segments);
+            let object = UncertainObject::from_pairs(session_id, observations)
+                .expect("kept observations are strictly increasing");
+            objects.push(MatchedObject { object, source: id, path });
+        }
+    }
+    MapMatchOutcome { objects, stats, frame, origin_seconds }
+}
+
+/// A reusable breadth-first path search bounded by a hop budget.
+///
+/// Feasibility asks exactly "is `to` reachable from `from` in at most `gap`
+/// hops", so a BFS limited to `gap` levels is both the *exact* witness
+/// (minimum-hop, where a weighted search could over-count hops on irregular
+/// networks) and cheap: it touches at most the `gap`-hop neighborhood
+/// instead of the whole graph, and its visit/parent scratch is allocated
+/// once per [`map_match`] call rather than per fix pair. Neighbors are
+/// expanded in adjacency order from a FIFO frontier, so the returned path is
+/// deterministic.
+struct PathFinder {
+    /// Visit stamp per state (`stamp` marks the current search).
+    visited: Vec<u32>,
+    parent: Vec<StateId>,
+    frontier: Vec<StateId>,
+    next: Vec<StateId>,
+    stamp: u32,
+}
+
+impl PathFinder {
+    fn new(num_states: usize) -> Self {
+        PathFinder {
+            visited: vec![0; num_states],
+            parent: vec![0; num_states],
+            frontier: Vec::new(),
+            next: Vec::new(),
+            stamp: 0,
+        }
+    }
+
+    /// The minimum-hop path from `from` to `to` (inclusive), or `None` if
+    /// `to` is not reachable within `max_hops`.
+    fn path_within(
+        &mut self,
+        network: &Network,
+        from: StateId,
+        to: StateId,
+        max_hops: usize,
+    ) -> Option<Vec<StateId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        if self.stamp == u32::MAX {
+            self.visited.fill(0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        self.visited[from as usize] = self.stamp;
+        self.frontier.clear();
+        self.frontier.push(from);
+        for _ in 0..max_hops {
+            self.next.clear();
+            for &state in &self.frontier {
+                for &(neighbor, _) in network.neighbors(state) {
+                    if self.visited[neighbor as usize] == self.stamp {
+                        continue;
+                    }
+                    self.visited[neighbor as usize] = self.stamp;
+                    self.parent[neighbor as usize] = state;
+                    if neighbor == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while cur != from {
+                            cur = self.parent[cur as usize];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    self.next.push(neighbor);
+                }
+            }
+            if self.next.is_empty() {
+                return None;
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        None
+    }
+}
+
+/// Cell size for the nearest-state hash grid: roughly one state per cell for
+/// uniformly spread states, never degenerate.
+fn grid_cell(points: &[Point]) -> f64 {
+    let mut min = points[0];
+    let mut max = points[0];
+    for p in points {
+        min = Point::new(min.x.min(p.x), min.y.min(p.y));
+        max = Point::new(max.x.max(p.x), max.y.max(p.y));
+    }
+    let extent = (max.x - min.x).max(max.y - min.y).max(1e-9);
+    extent / (points.len() as f64).sqrt().max(1.0)
+}
+
+/// Materialises the per-tic path between kept observations: inside segment
+/// `k` the object advances one hop per tic along the stored shortest path and
+/// then waits at the segment's end state.
+fn interpolate(observations: &[(Timestamp, StateId)], segments: &[Vec<StateId>]) -> Trajectory {
+    let (start, first_state) = observations[0];
+    let mut states = vec![first_state];
+    for (k, seg) in segments.iter().enumerate() {
+        let (from_t, _) = observations[k];
+        let (to_t, _) = observations[k + 1];
+        let hops = seg.len() - 1;
+        for t in (from_t + 1)..=to_t {
+            states.push(seg[((t - from_t) as usize).min(hops)]);
+        }
+    }
+    Trajectory::new(start, states)
+}
+
+/// Learns the shared a-priori Markov model from the matched trajectories by
+/// aggregating turning counts at crossings over the interpolated per-tic
+/// paths (the paper: "the transition matrix was extracted by aggregating the
+/// turning probabilities at crossroads"). `smoothing` is added to every
+/// network edge and self-loop so the model supports the whole graph.
+pub fn learn_model_from_matches(
+    network: &Network,
+    matches: &[MatchedObject],
+    smoothing: f64,
+) -> MarkovModel {
+    let mut counts: FxHashMap<(StateId, StateId), f64> = FxHashMap::default();
+    for m in matches {
+        for w in m.path.states().windows(2) {
+            *counts.entry((w[0], w[1])).or_insert(0.0) += 1.0;
+        }
+    }
+    network.learned_model(&counts, smoothing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::road_network::RoadNetworkConfig;
+    use crate::tdrive;
+    use std::sync::Arc;
+    use ust_markov::AdaptedModel;
+    use ust_spatial::StateSpace;
+
+    /// A clean 5x5 grid network (block 0.2, no jitter, no removals).
+    fn grid5() -> Network {
+        RoadNetworkConfig {
+            grid_width: 5,
+            grid_height: 5,
+            jitter: 0.0,
+            removal_fraction: 0.0,
+            seed: 0,
+        }
+        .generate()
+    }
+
+    fn fix(object: u32, seconds: i64, p: Point, frame: &GeoFrame) -> RawFix {
+        let (lon, lat) = frame.to_lonlat(&p);
+        RawFix { object, seconds, lon, lat }
+    }
+
+    #[test]
+    fn frame_projection_roundtrips() {
+        let frame = GeoFrame::beijing();
+        let p = Point::new(0.3, 0.7);
+        let (lon, lat) = frame.to_lonlat(&p);
+        let q = frame.to_network(lon, lat);
+        assert!(p.dist(&q) < 1e-12);
+    }
+
+    #[test]
+    fn frame_fit_covers_the_data_and_survives_degenerate_input() {
+        let fixes = vec![
+            RawFix { object: 1, seconds: 0, lon: 116.2, lat: 39.8 },
+            RawFix { object: 1, seconds: 1, lon: 116.4, lat: 39.9 },
+        ];
+        let frame = GeoFrame::fit(&fixes).unwrap();
+        assert_eq!(frame.lon_min, 116.2);
+        assert_eq!(frame.lon_max, 116.4);
+        let corner = frame.to_network(116.2, 39.8);
+        assert!(corner.dist(&Point::new(0.0, 0.0)) < 1e-12);
+        // One single fix: spans are widened, projection stays finite.
+        let one = GeoFrame::fit(&fixes[..1]).unwrap();
+        let p = one.to_network(116.2, 39.8);
+        assert!(p.x.is_finite() && p.y.is_finite());
+        assert!(GeoFrame::fit(&[]).is_none());
+    }
+
+    #[test]
+    fn fixes_on_states_match_exactly() {
+        let net = grid5();
+        let frame = GeoFrame::beijing();
+        // Walk along the bottom row: states 0, 1, 2 (block 0.2, 1 hop apart),
+        // observed every 3 tics (30 s at 10 s/tic).
+        let fixes: Vec<RawFix> = [0u32, 1, 2]
+            .iter()
+            .enumerate()
+            .map(|(k, &s)| fix(9, 1_000 + 30 * k as i64, net.position(s), &frame))
+            .collect();
+        let cfg = MapMatchConfig { frame: Some(frame), ..Default::default() };
+        let out = map_match(&net, &fixes, &cfg);
+        assert_eq!(out.origin_seconds, 1_000);
+        assert_eq!(out.stats.snapped, 3);
+        assert_eq!(out.stats.dropped_fixes(), 0);
+        assert_eq!(out.objects.len(), 1);
+        let obj = &out.objects[0].object;
+        assert_eq!(obj.id(), 9);
+        assert_eq!(obj.observation_pairs(), vec![(0, 0), (3, 1), (6, 2)]);
+        // The interpolated path moves one hop per tic, then waits.
+        assert_eq!(out.objects[0].path.states(), &[0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn out_of_radius_and_duplicate_tick_fixes_are_dropped() {
+        let net = grid5();
+        let frame = GeoFrame::beijing();
+        let on_state = fix(1, 0, net.position(12), &frame);
+        // Same tic (4 s later at 10 s/tic) — dropped as duplicate.
+        let same_tick = fix(1, 4, net.position(12), &frame);
+        // Far outside the network (network coords ~(3, 3)).
+        let outlier = RawFix { object: 1, seconds: 20, lon: 117.5, lat: 41.0 };
+        let cfg = MapMatchConfig { frame: Some(frame), ..Default::default() };
+        let out = map_match(&net, &[on_state, same_tick, outlier], &cfg);
+        assert_eq!(out.stats.duplicate_tick, 1);
+        assert_eq!(out.stats.out_of_radius, 1);
+        assert_eq!(out.stats.snapped, 1);
+        assert_eq!(out.objects[0].object.num_observations(), 1);
+    }
+
+    #[test]
+    fn infeasible_jumps_are_dropped() {
+        let net = grid5();
+        let frame = GeoFrame::beijing();
+        // Corner to corner is 8 hops; one tic apart is infeasible.
+        let a = fix(2, 0, net.position(0), &frame);
+        let b = fix(2, 10, net.position(24), &frame);
+        // 9 tics later: 8 hops within 9 tics is feasible again.
+        let c = fix(2, 100, net.position(24), &frame);
+        let cfg = MapMatchConfig { frame: Some(frame), ..Default::default() };
+        let out = map_match(&net, &[a, b, c], &cfg);
+        assert_eq!(out.stats.infeasible, 1);
+        assert_eq!(out.objects[0].object.observation_pairs(), vec![(0, 0), (10, 24)]);
+        let path = &out.objects[0].path;
+        assert_eq!(path.start(), 0);
+        assert_eq!(path.end(), 10);
+        // The interpolation follows network edges or waits.
+        for w in path.states().windows(2) {
+            assert!(w[0] == w[1] || net.neighbors(w[0]).iter().any(|&(s, _)| s == w[1]));
+        }
+    }
+
+    #[test]
+    fn far_future_fixes_split_or_drop_instead_of_interpolating() {
+        let net = grid5();
+        let frame = GeoFrame::beijing();
+        let a = fix(5, 0, net.position(0), &frame);
+        // A mistyped far-future year that still parses: tick 4e8 is
+        // representable but sits max_gap beyond everything else. Without the
+        // session split this would interpolate hundreds of millions of tics.
+        let far = fix(5, 4_000_000_000, net.position(1), &frame);
+        // Beyond the tic domain entirely (tick > u32::MAX) — dropped.
+        let overflow = fix(5, 50_000_000_000, net.position(2), &frame);
+        let b = fix(5, 40, net.position(1), &frame);
+        let cfg = MapMatchConfig { frame: Some(frame), ..Default::default() };
+        let out = map_match(&net, &[a, far, overflow, b], &cfg);
+        assert_eq!(out.stats.out_of_window, 1, "only the unrepresentable tic is dropped");
+        assert_eq!(out.stats.sessions_split, 1, "the far-future fix starts its own session");
+        assert_eq!(out.objects.len(), 2);
+        assert_eq!(out.objects[0].object.observation_pairs(), vec![(0, 0), (4, 1)]);
+        assert!(out.objects[0].path.len() <= 5);
+        // The stray session is its own tiny object — nothing interpolates
+        // across the gap.
+        assert_eq!(out.objects[1].object.id(), 6, "fresh id beyond the largest input id");
+        assert_eq!(out.objects[1].source, 5, "linked back to its taxi");
+        assert_eq!(out.objects[1].object.num_observations(), 1);
+        assert_eq!(out.objects[1].path.len(), 1);
+    }
+
+    #[test]
+    fn gaps_beyond_max_gap_start_a_new_session_and_keep_the_data() {
+        let net = grid5();
+        let frame = GeoFrame::beijing();
+        let cfg = MapMatchConfig { frame: Some(frame), max_gap: 8, ..Default::default() };
+        let a = fix(6, 0, net.position(0), &frame);
+        let at_limit = fix(6, 80, net.position(1), &frame); // gap 8 = max_gap
+        let beyond = fix(6, 170, net.position(2), &frame); // gap 9 > max_gap
+        let resumes = fix(6, 210, net.position(3), &frame); // gap 4, same session
+        let out = map_match(&net, &[a, at_limit, beyond, resumes], &cfg);
+        assert_eq!(out.stats.out_of_window, 0, "a session gap is not data loss");
+        assert_eq!(out.stats.sessions_split, 1);
+        assert_eq!(out.stats.snapped, 4, "every fix survives");
+        assert_eq!(out.objects.len(), 2);
+        assert_eq!(out.objects[0].object.id(), 6);
+        assert_eq!(out.objects[0].object.observation_pairs(), vec![(0, 0), (8, 1)]);
+        assert_eq!(out.objects[1].object.id(), 7);
+        assert_eq!(out.objects[1].source, 6);
+        assert_eq!(out.objects[1].object.observation_pairs(), vec![(17, 2), (21, 3)]);
+        // The second session's path starts at its own first observation.
+        assert_eq!(out.objects[1].path.start(), 17);
+        assert_eq!(out.objects[1].path.end(), 21);
+    }
+
+    #[test]
+    fn explicit_origin_drops_earlier_fixes() {
+        let net = grid5();
+        let frame = GeoFrame::beijing();
+        let early = fix(3, 50, net.position(6), &frame);
+        let later = fix(3, 200, net.position(6), &frame);
+        let cfg = MapMatchConfig {
+            frame: Some(frame),
+            origin_seconds: Some(100),
+            ..Default::default()
+        };
+        let out = map_match(&net, &[early, later], &cfg);
+        assert_eq!(out.stats.before_origin, 1);
+        assert_eq!(out.objects[0].object.observation_pairs(), vec![(10, 6)]);
+    }
+
+    #[test]
+    fn matched_objects_adapt_under_the_learned_model() {
+        let net = grid5();
+        let frame = GeoFrame::beijing();
+        // Two taxis on realistic short trips.
+        let mut fixes = Vec::new();
+        for (id, walk) in [(1u32, [0u32, 1, 6, 7]), (2, [12, 13, 18, 17])] {
+            for (k, &s) in walk.iter().enumerate() {
+                fixes.push(fix(id, 40 * k as i64, net.position(s), &frame));
+            }
+        }
+        let cfg = MapMatchConfig { frame: Some(frame), ..Default::default() };
+        let out = map_match(&net, &fixes, &cfg);
+        assert_eq!(out.stats.objects_matched, 2);
+        let model = learn_model_from_matches(&net, &out.objects, 0.05);
+        assert!(model.is_valid());
+        for m in &out.objects {
+            let adapted = AdaptedModel::build(&model, &m.object.observation_pairs());
+            assert!(adapted.is_ok(), "ingested observations contradict the learned model");
+            assert!(m.path.consistent_with(&m.object.observation_pairs()));
+        }
+    }
+
+    #[test]
+    fn empty_network_rejects_everything() {
+        let space = Arc::new(StateSpace::new());
+        let net = Network::new(space, Vec::<(StateId, StateId)>::new());
+        let fixes = vec![RawFix { object: 1, seconds: 0, lon: 116.2, lat: 39.8 }];
+        let out = map_match(&net, &fixes, &MapMatchConfig::default());
+        assert_eq!(out.stats.out_of_radius, 1);
+        assert!(out.objects.is_empty());
+        assert_eq!(out.stats.objects_dropped, 1);
+    }
+
+    #[test]
+    fn workload_rendering_reingests_identically() {
+        let net = grid5();
+        let frame = GeoFrame::beijing();
+        let objects = vec![
+            UncertainObject::from_pairs(4, vec![(0, 0), (4, 2), (8, 4)]).unwrap(),
+            UncertainObject::from_pairs(11, vec![(2, 5), (6, 7)]).unwrap(),
+        ];
+        let csv = tdrive::render_workload(net.space(), &objects, &frame, 10, 1_000_000);
+        let load = tdrive::parse_str(&csv);
+        assert!(load.errors.is_empty());
+        let cfg = MapMatchConfig {
+            frame: Some(frame),
+            origin_seconds: Some(1_000_000),
+            ..Default::default()
+        };
+        let out = map_match(&net, &load.fixes, &cfg);
+        assert_eq!(out.objects.len(), 2);
+        for (matched, original) in out.objects.iter().zip(&objects) {
+            assert_eq!(matched.object.id(), original.id());
+            assert_eq!(matched.object.observation_pairs(), original.observation_pairs());
+        }
+    }
+}

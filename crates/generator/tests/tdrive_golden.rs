@@ -1,0 +1,126 @@
+//! Golden-fixture test for the T-Drive loader.
+//!
+//! `tests/data/tdrive_small.csv` (repo root) is the checked-in real-data
+//! fixture: five taxis with interleaved ("shuffled") ids — including a
+//! non-contiguous id, 104 — observed every 80 seconds over central Beijing,
+//! plus seven deliberately malformed rows. This test pins the loader's exact
+//! behaviour on it: the parsed observation set and every typed,
+//! line-numbered [`LoadError`]. The same fixture drives the `fig09 --csv`
+//! smoke run in CI, so any drift here would also change the published
+//! experiment input.
+
+use ust_generator::tdrive::{group_fixes, parse_datetime, LoadError, LoadErrorKind, RawFix};
+use ust_generator::{tdrive, ObjectId};
+
+const FIXTURE: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/data/tdrive_small.csv"
+));
+
+/// Epoch seconds of the fixture's first fix time, 2008-02-02 13:30:04 —
+/// taxis are observed every 80 seconds from there.
+const T0: i64 = 1_201_959_004;
+
+fn expected_fix(object: ObjectId, k: i64, lon: f64, lat: f64) -> RawFix {
+    RawFix { object, seconds: T0 + 80 * k, lon, lat }
+}
+
+#[test]
+fn fixture_parses_to_the_exact_observation_set() {
+    let out = tdrive::parse_str(FIXTURE);
+    assert_eq!(out.lines, 67);
+    assert_eq!(out.fixes.len(), 60);
+    assert_eq!(out.errors.len(), 7);
+
+    let groups = group_fixes(&out.fixes);
+    let ids: Vec<ObjectId> = groups.iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, vec![1, 2, 3, 7, 104], "shuffled ids are untangled and sorted");
+    for (id, group) in &groups {
+        assert_eq!(group.len(), 12, "taxi {id} has 12 fixes");
+        assert_eq!(group[0].seconds, T0, "taxi {id} starts at the common origin");
+        assert_eq!(group[11].seconds, T0 + 80 * 11);
+        assert!(group.windows(2).all(|w| w[1].seconds - w[0].seconds == 80));
+    }
+
+    // Taxi 1 moves north-east in constant steps; exact full trace.
+    let expected_taxi1: Vec<RawFix> = [
+        (116.05, 39.55),
+        (116.07, 39.565),
+        (116.09, 39.58),
+        (116.11, 39.595),
+        (116.13, 39.61),
+        (116.15, 39.625),
+        (116.17, 39.64),
+        (116.19, 39.655),
+        (116.21, 39.67),
+        (116.23, 39.685),
+        (116.25, 39.70),
+        (116.27, 39.715),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(k, &(lon, lat))| expected_fix(1, k as i64, lon, lat))
+    .collect();
+    assert_eq!(groups[0].1, expected_taxi1);
+
+    // Taxi 104 (the non-contiguous id) moves south-east; exact full trace.
+    let expected_taxi104: Vec<RawFix> = [
+        (116.10, 39.90),
+        (116.115, 39.88),
+        (116.13, 39.86),
+        (116.145, 39.84),
+        (116.16, 39.82),
+        (116.175, 39.80),
+        (116.19, 39.78),
+        (116.205, 39.76),
+        (116.22, 39.74),
+        (116.235, 39.72),
+        (116.25, 39.70),
+        (116.265, 39.68),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(k, &(lon, lat))| expected_fix(104, k as i64, lon, lat))
+    .collect();
+    assert_eq!(groups[4].1, expected_taxi104);
+
+    // Spot-pins on the remaining taxis: 2 drives south-west from the
+    // north-east corner, 7 keeps a constant longitude, 3 stands still up to
+    // a sub-block GPS wiggle.
+    assert_eq!(groups[1].1[0], expected_fix(2, 0, 116.45, 39.95));
+    assert_eq!(groups[1].1[11], expected_fix(2, 11, 116.23, 39.785));
+    assert!(groups[3].1.iter().all(|f| f.lon == 116.40));
+    assert!(groups[2].1.iter().all(|f| (f.lon - 116.25).abs() < 0.003));
+}
+
+#[test]
+fn fixture_malformed_rows_yield_the_exact_typed_errors() {
+    let out = tdrive::parse_str(FIXTURE);
+    assert_eq!(
+        out.errors,
+        vec![
+            LoadError { line: 6, kind: LoadErrorKind::FieldCount { found: 3 } },
+            LoadError { line: 12, kind: LoadErrorKind::BadObjectId { field: "taxi9".into() } },
+            LoadError {
+                line: 18,
+                kind: LoadErrorKind::BadTimestamp { field: "2008-02-31 13:35:20".into() },
+            },
+            LoadError {
+                line: 24,
+                kind: LoadErrorKind::BadTimestamp { field: "2008-02-02 25:01:00".into() },
+            },
+            LoadError { line: 30, kind: LoadErrorKind::BadCoordinate { field: "abc".into() } },
+            LoadError { line: 36, kind: LoadErrorKind::LonOutOfRange { lon: 196.2 } },
+            LoadError { line: 42, kind: LoadErrorKind::LatOutOfRange { lat: -97.0 } },
+        ]
+    );
+    // The errors render with their line numbers, so ingestion logs are
+    // actionable.
+    let rendered = out.errors[0].to_string();
+    assert!(rendered.starts_with("line 6:"), "{rendered}");
+}
+
+#[test]
+fn fixture_origin_matches_the_documented_epoch() {
+    assert_eq!(parse_datetime("2008-02-02 13:30:04"), Some(T0));
+}

@@ -1,0 +1,203 @@
+//! Property-based round-trip tests for the T-Drive ingestion pipeline.
+//!
+//! A random network walk is rendered to T-Drive CSV by the fixture writer and
+//! re-ingested through parse → map-match. The properties:
+//!
+//! * **Exactness** — when every fix sits exactly on a state position (up to
+//!   the writer's 5-decimal quantisation), the map-matched observations equal
+//!   the original ones bit-for-bit: same object ids, same tics, same states.
+//! * **Jitter robustness** — under per-fix GPS noise bounded below half the
+//!   grid spacing, every fix still snaps to the original state and the
+//!   snapped state stays within the configured snap radius of the jittered
+//!   position.
+//!
+//! The networks are clean grids (`jitter = 0`, no removals) so the minimum
+//! state spacing — and with it the safe noise bound — is known exactly.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ust_generator::map_match::{map_match, GeoFrame, MapMatchConfig};
+use ust_generator::tdrive::{self, RawFix};
+use ust_generator::{Network, ObjectId, RoadNetworkConfig, StateId, Timestamp};
+use ust_trajectory::UncertainObject;
+
+/// Epoch of tic 0 in the rendered fixtures.
+const ORIGIN: i64 = 1_201_900_000;
+/// Seconds per tic, as in the paper's real-data discretisation.
+const TICK_SECONDS: i64 = 10;
+
+/// A clean `w × h` grid network: block sizes are exactly `1/w` and `1/h` and
+/// the minimum distance between distinct states is `min(1/w, 1/h)`.
+fn clean_grid(w: usize, h: usize) -> Network {
+    RoadNetworkConfig {
+        grid_width: w,
+        grid_height: h,
+        jitter: 0.0,
+        removal_fraction: 0.0,
+        seed: 0,
+    }
+    .generate()
+}
+
+/// A random walk on the network observed every `interval` tics: each tic the
+/// walker moves to a uniformly chosen neighbor or stays, so consecutive
+/// observations are always reachable within their tic gap.
+fn random_walk_observations(
+    network: &Network,
+    rng: &mut StdRng,
+    num_obs: usize,
+    interval: u32,
+) -> Vec<(Timestamp, StateId)> {
+    let mut state = rng.gen_range(0..network.num_states() as StateId);
+    let mut out = vec![(0, state)];
+    for k in 1..num_obs {
+        for _ in 0..interval {
+            let neighbors = network.neighbors(state);
+            let choice = rng.gen_range(0..=neighbors.len());
+            if choice < neighbors.len() {
+                state = neighbors[choice].0;
+            }
+        }
+        out.push((k as Timestamp * interval, state));
+    }
+    out
+}
+
+/// Renders observations of several walkers into T-Drive CSV, optionally
+/// applying per-fix lon/lat noise bounded by `noise` (in network units,
+/// per axis).
+fn render_walks(
+    network: &Network,
+    walks: &[(ObjectId, Vec<(Timestamp, StateId)>)],
+    frame: &GeoFrame,
+    noise: f64,
+    rng: &mut StdRng,
+) -> String {
+    let mut csv = String::new();
+    for (id, obs) in walks {
+        let object = UncertainObject::from_pairs(*id, obs.clone()).expect("sorted tics");
+        if noise == 0.0 {
+            csv.push_str(&tdrive::render_workload(
+                network.space(),
+                std::slice::from_ref(&object),
+                frame,
+                TICK_SECONDS,
+                ORIGIN,
+            ));
+        } else {
+            for (t, s) in obs {
+                let p = network.position(*s);
+                let jittered = ust_spatial::Point::new(
+                    p.x + (rng.gen::<f64>() * 2.0 - 1.0) * noise,
+                    p.y + (rng.gen::<f64>() * 2.0 - 1.0) * noise,
+                );
+                let (lon, lat) = frame.to_lonlat(&jittered);
+                let fix = RawFix {
+                    object: *id,
+                    seconds: ORIGIN + i64::from(*t) * TICK_SECONDS,
+                    lon,
+                    lat,
+                };
+                csv.push_str(&tdrive::format_fix(&fix));
+                csv.push('\n');
+            }
+        }
+    }
+    csv
+}
+
+fn match_config(frame: GeoFrame, snap_radius: f64) -> MapMatchConfig {
+    MapMatchConfig {
+        snap_radius,
+        tick_seconds: TICK_SECONDS,
+        origin_seconds: Some(ORIGIN),
+        frame: Some(frame),
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Fixes on state positions round-trip exactly: render → parse → match
+    /// reproduces every object's observation set bit-for-bit.
+    #[test]
+    fn on_state_fixes_roundtrip_exactly(
+        w in 4usize..=9,
+        h in 4usize..=9,
+        num_objects in 1usize..=5,
+        num_obs in 2usize..=10,
+        interval in 1u32..=5,
+        seed in 0u64..1_000,
+    ) {
+        let network = clean_grid(w, h);
+        let frame = GeoFrame::beijing();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let walks: Vec<(ObjectId, Vec<(Timestamp, StateId)>)> = (0..num_objects)
+            .map(|i| {
+                (i as ObjectId + 1, random_walk_observations(&network, &mut rng, num_obs, interval))
+            })
+            .collect();
+        let csv = render_walks(&network, &walks, &frame, 0.0, &mut rng);
+        let load = tdrive::parse_str(&csv);
+        prop_assert!(load.errors.is_empty(), "writer output must parse cleanly: {:?}", load.errors);
+        prop_assert_eq!(load.fixes.len(), num_objects * num_obs);
+
+        let out = map_match(&network, &load.fixes, &match_config(frame, 0.05));
+        prop_assert_eq!(out.stats.dropped_fixes(), 0);
+        prop_assert_eq!(out.objects.len(), num_objects);
+        for (matched, (id, obs)) in out.objects.iter().zip(&walks) {
+            prop_assert_eq!(matched.object.id(), *id);
+            prop_assert_eq!(&matched.object.observation_pairs(), obs);
+            // The interpolated path passes through every observation.
+            prop_assert!(matched.path.consistent_with(obs));
+        }
+    }
+
+    /// Under bounded GPS jitter every fix still snaps to the original state,
+    /// and the snapped state lies within the snap radius of the fix.
+    #[test]
+    fn jittered_fixes_stay_within_snap_radius(
+        w in 4usize..=9,
+        h in 4usize..=9,
+        num_obs in 2usize..=10,
+        interval in 1u32..=5,
+        seed in 0u64..1_000,
+    ) {
+        let network = clean_grid(w, h);
+        let frame = GeoFrame::beijing();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37).wrapping_add(1));
+        let walk = random_walk_observations(&network, &mut rng, num_obs, interval);
+        // Per-axis noise strictly below half the smaller block keeps the
+        // original state nearest; the writer's 5-decimal quantisation adds
+        // at most ~1e-5 network units on this half-degree frame.
+        let block = (1.0 / w as f64).min(1.0 / h as f64);
+        let noise = 0.4 * block;
+        let snap_radius = 0.75 * block;
+        let walks = vec![(7 as ObjectId, walk.clone())];
+        let csv = render_walks(&network, &walks, &frame, noise, &mut rng);
+        let load = tdrive::parse_str(&csv);
+        prop_assert!(load.errors.is_empty());
+
+        let out = map_match(&network, &load.fixes, &match_config(frame, snap_radius));
+        prop_assert_eq!(out.stats.dropped_fixes(), 0);
+        prop_assert_eq!(out.objects.len(), 1);
+        prop_assert_eq!(&out.objects[0].object.observation_pairs(), &walk);
+        // Snap-radius contract: every matched state is within the radius of
+        // the (jittered) fix it was snapped from.
+        for (fix, obs) in load.fixes.iter().zip(out.objects[0].object.observations()) {
+            let p = frame.to_network(fix.lon, fix.lat);
+            let d = network.position(obs.state).dist(&p);
+            prop_assert!(d <= snap_radius, "snap distance {d} exceeds radius {snap_radius}");
+        }
+    }
+
+    /// The datetime codec round-trips arbitrary epochs (a prerequisite for
+    /// lossless tic reconstruction).
+    #[test]
+    fn datetime_codec_roundtrips(seconds in 0i64..4_102_444_800) {
+        let rendered = tdrive::format_datetime(seconds);
+        prop_assert_eq!(tdrive::parse_datetime(&rendered), Some(seconds));
+    }
+}

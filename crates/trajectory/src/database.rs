@@ -13,6 +13,38 @@ use std::sync::Arc;
 use ust_markov::MarkovModel;
 use ust_spatial::StateSpace;
 
+/// Ingested-observation statistics of a [`TrajectoryDatabase`].
+///
+/// Real-data workloads arrive through the T-Drive ingestion pipeline with
+/// unpredictable shape (objects dropped by map matching, ragged observation
+/// counts, data-defined horizons), so the database exposes what was actually
+/// ingested. `fig09 --csv` records these in its report meta and the
+/// ingestion tests assert them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatabaseSummary {
+    /// Number of objects `|D|`.
+    pub objects: usize,
+    /// Total number of observations over all objects.
+    pub observations: usize,
+    /// Smallest per-object observation count (zero for an empty database).
+    pub min_observations: usize,
+    /// Largest per-object observation count (zero for an empty database).
+    pub max_observations: usize,
+    /// Earliest and latest observation time, or `None` for an empty database.
+    pub horizon: Option<(Timestamp, Timestamp)>,
+}
+
+impl DatabaseSummary {
+    /// Mean observations per object (zero for an empty database).
+    pub fn mean_observations(&self) -> f64 {
+        if self.objects == 0 {
+            0.0
+        } else {
+            self.observations as f64 / self.objects as f64
+        }
+    }
+}
+
 /// A database of uncertain moving-object trajectories.
 #[derive(Debug, Clone)]
 pub struct TrajectoryDatabase {
@@ -139,6 +171,35 @@ impl TrajectoryDatabase {
     pub fn total_observations(&self) -> usize {
         self.objects.iter().map(|o| o.num_observations()).sum()
     }
+
+    /// Ingested-observation statistics (see [`DatabaseSummary`]).
+    pub fn summary(&self) -> DatabaseSummary {
+        let counts = self.objects.iter().map(|o| o.num_observations());
+        DatabaseSummary {
+            objects: self.len(),
+            observations: self.total_observations(),
+            min_observations: counts.clone().min().unwrap_or(0),
+            max_observations: counts.max().unwrap_or(0),
+            horizon: self.time_horizon(),
+        }
+    }
+
+    /// A new database over the same state space and shared model containing
+    /// exactly the given objects, in the given order (per-object model
+    /// overrides of the selected objects are carried along). Errs with the
+    /// first id that is not present — the ingestion harness turns that into
+    /// a typed `UnknownObject` query error instead of panicking.
+    pub fn subset(&self, ids: &[ObjectId]) -> Result<TrajectoryDatabase, ObjectId> {
+        let mut db = TrajectoryDatabase::new(self.state_space.clone(), self.shared_model.clone());
+        for &id in ids {
+            let object = self.object(id).ok_or(id)?;
+            db.insert(object.clone());
+            if let Some(model) = self.object_models.get(&id) {
+                db.object_models.insert(id, model.clone());
+            }
+        }
+        Ok(db)
+    }
 }
 
 #[cfg(test)]
@@ -197,11 +258,45 @@ mod tests {
     }
 
     #[test]
+    fn subset_preserves_order_models_and_reports_missing_ids() {
+        let mut d = db();
+        let special = Arc::new(MarkovModel::homogeneous(CsrMatrix::identity(3)));
+        d.set_object_model(3, special.clone());
+        let s = d.subset(&[3, 1]).unwrap();
+        assert_eq!(s.len(), 2);
+        let ids: Vec<ObjectId> = s.objects().iter().map(|o| o.id()).collect();
+        assert_eq!(ids, vec![3, 1], "subset keeps the requested order");
+        assert!(Arc::ptr_eq(s.model_for(3), &special), "override travels with the object");
+        assert!(Arc::ptr_eq(s.model_for(1), s.shared_model()));
+        assert_eq!(d.subset(&[1, 9, 2]).unwrap_err(), 9);
+        assert!(d.subset(&[]).unwrap().is_empty());
+    }
+
+    #[test]
     fn empty_database() {
         let space = Arc::new(StateSpace::new());
         let model = Arc::new(MarkovModel::homogeneous(CsrMatrix::identity(1)));
         let d = TrajectoryDatabase::new(space, model);
         assert!(d.is_empty());
         assert_eq!(d.time_horizon(), None);
+    }
+
+    #[test]
+    fn summary_reports_ingested_observations() {
+        let s = db().summary();
+        assert_eq!(s.objects, 3);
+        assert_eq!(s.observations, 6);
+        assert_eq!(s.min_observations, 2);
+        assert_eq!(s.max_observations, 2);
+        assert_eq!(s.horizon, Some((0, 30)));
+        assert_eq!(s.mean_observations(), 2.0);
+
+        let space = Arc::new(StateSpace::new());
+        let model = Arc::new(MarkovModel::homogeneous(CsrMatrix::identity(1)));
+        let empty = TrajectoryDatabase::new(space, model).summary();
+        assert_eq!(empty.objects, 0);
+        assert_eq!(empty.min_observations, 0);
+        assert_eq!(empty.horizon, None);
+        assert_eq!(empty.mean_observations(), 0.0);
     }
 }

@@ -33,7 +33,7 @@ pub mod object;
 pub mod timemask;
 
 pub use certain::Trajectory;
-pub use database::TrajectoryDatabase;
+pub use database::{DatabaseSummary, TrajectoryDatabase};
 pub use nn::{knn_members_at, nn_objects_at, NnTimeProfile};
 pub use object::{ObjectId, Observation, ObservationError, UncertainObject};
 pub use timemask::{iter_set_bits, TimeMask};

@@ -15,7 +15,8 @@
 //! * [`index`] — the UST-tree with `dmin`/`dmax` pruning,
 //! * [`core`] — the P∃NN / P∀NN / PCNN / kNN query semantics (sampling-based,
 //!   exact and snapshot evaluation),
-//! * [`generator`] — synthetic and simulated-taxi workload generators.
+//! * [`generator`] — synthetic and simulated-taxi workload generators, the
+//!   T-Drive-format loader and the map-matching real-data ingestion pipeline.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and `DESIGN.md`
 //! for the architecture and the per-experiment index.
@@ -33,11 +34,13 @@ pub use ust_trajectory as trajectory;
 /// Commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
     pub use ust_core::{
-        AdaptationCache, CacheStats, EngineConfig, ObjectProbability, PcnnOutcome, PrepareOutcome,
-        Query, QueryEngine, QueryOutcome,
+        AdaptationCache, CacheStats, DatabaseSummary, EngineConfig, ObjectProbability,
+        PcnnOutcome, PrepareOutcome, Query, QueryEngine, QueryOutcome,
     };
     pub use ust_generator::{
-        Dataset, ObjectWorkloadConfig, QueryWorkload, QueryWorkloadConfig, RoadNetworkConfig,
+        learn_model_from_matches, map_match, Dataset, GeoFrame, LoadError, LoadErrorKind,
+        LoadOutcome, MapMatchConfig, MapMatchOutcome, MatchStats, MatchedObject,
+        ObjectWorkloadConfig, QueryWorkload, QueryWorkloadConfig, RawFix, RoadNetworkConfig,
         SyntheticNetworkConfig, TaxiWorkloadConfig,
     };
     pub use ust_index::UstTree;
