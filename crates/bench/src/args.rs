@@ -26,6 +26,12 @@ pub struct RunSettings {
     /// `Some(0)` = explicitly requested available parallelism, `Some(n)` = a
     /// fixed count.
     pub adaptation_threads: Option<usize>,
+    /// Worker threads of the UST-tree build (filter-phase index): `None` if
+    /// `--build-threads` was not given (binaries default to available
+    /// parallelism — the built index is byte-identical at every count),
+    /// `Some(0)` = explicitly requested available parallelism, `Some(n)` = a
+    /// fixed count. `1` is the exact serial build.
+    pub build_threads: Option<usize>,
     /// Path to a T-Drive-format CSV to ingest instead of generating the
     /// simulated workload. Only fig09 honours this; the other figure
     /// binaries reject it via [`RunSettings::reject_ingest_flags`].
@@ -43,6 +49,7 @@ impl Default for RunSettings {
             json_path: None,
             seed: 0,
             adaptation_threads: None,
+            build_threads: None,
             csv_path: None,
             objects: None,
         }
@@ -77,6 +84,12 @@ impl RunSettings {
             match arg.as_str() {
                 "--quick" => settings.scale = RunScale::Quick,
                 "--paper-scale" => settings.scale = RunScale::Paper,
+                "--scale" => match iter.next().as_deref() {
+                    Some("quick") => settings.scale = RunScale::Quick,
+                    Some("default") => settings.scale = RunScale::Default,
+                    Some("paper") => settings.scale = RunScale::Paper,
+                    _ => usage_and_exit("--scale requires one of: quick, default, paper"),
+                },
                 "--json" => {
                     settings.json_path = iter.next();
                     if settings.json_path.is_none() {
@@ -91,6 +104,12 @@ impl RunSettings {
                     Some(threads) => settings.adaptation_threads = Some(threads),
                     None => usage_and_exit("--threads requires an integer argument (0 = auto)"),
                 },
+                "--build-threads" => match iter.next().and_then(|s| s.parse().ok()) {
+                    Some(threads) => settings.build_threads = Some(threads),
+                    None => {
+                        usage_and_exit("--build-threads requires an integer argument (0 = auto)")
+                    }
+                },
                 "--csv" => {
                     settings.csv_path = iter.next();
                     if settings.csv_path.is_none() {
@@ -101,6 +120,10 @@ impl RunSettings {
                     Some(objects) => settings.objects = Some(objects),
                     None => usage_and_exit("--objects requires an integer argument"),
                 },
+                // `cargo bench` appends `--bench` to every harness = false
+                // bench target (the `index_build` report bench parses these
+                // settings); accept and ignore it.
+                "--bench" => {}
                 "--help" | "-h" => usage_and_exit(""),
                 other => usage_and_exit(&format!("unknown argument: {other}")),
             }
@@ -114,8 +137,9 @@ fn usage_and_exit(message: &str) -> ! {
         eprintln!("error: {message}");
     }
     eprintln!(
-        "usage: <figure binary> [--quick | --paper-scale] [--seed N] [--threads N] \
-         [--json <path>] [--csv <path>] [--objects N]"
+        "usage: <figure binary> [--quick | --paper-scale | --scale <quick|default|paper>] \
+         [--seed N] [--threads N] [--build-threads N] [--json <path>] [--csv <path>] \
+         [--objects N]"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
@@ -140,6 +164,24 @@ mod tests {
     fn quick_and_paper_flags() {
         assert_eq!(parse(&["--quick"]).scale, RunScale::Quick);
         assert_eq!(parse(&["--paper-scale"]).scale, RunScale::Paper);
+    }
+
+    #[test]
+    fn scale_flag_names_all_presets() {
+        assert_eq!(parse(&["--scale", "quick"]).scale, RunScale::Quick);
+        assert_eq!(parse(&["--scale", "default"]).scale, RunScale::Default);
+        assert_eq!(parse(&["--scale", "paper"]).scale, RunScale::Paper);
+    }
+
+    #[test]
+    fn build_threads_flag() {
+        assert_eq!(parse(&["--build-threads", "2"]).build_threads, Some(2));
+        assert_eq!(
+            parse(&["--build-threads", "0"]).build_threads,
+            Some(0),
+            "an explicit 0 (= auto) is distinct from the flag being absent"
+        );
+        assert_eq!(parse(&[]).build_threads, None);
     }
 
     #[test]

@@ -19,6 +19,7 @@ fn main() {
     settings.reject_ingest_flags("fig06_vary_states");
     let params = ScaleParams::for_scale(settings.scale);
     let threads = resolve_adaptation_threads(settings.adaptation_threads.unwrap_or(0));
+    let build_threads = settings.build_threads.unwrap_or(0);
     let sweep: Vec<usize> = match settings.scale {
         RunScale::Quick => vec![1_000, 2_000, 4_000],
         RunScale::Default => vec![2_000, 10_000, 50_000],
@@ -29,9 +30,11 @@ fn main() {
         "Efficiency of P∀NNQ/P∃NNQ while varying the number of states N \
          (paper: Figure 6; series TS1 = serial adaptation, TSp = adaptation \
          with the configured thread count, speedup = TS1/TSp, FA/EX in \
-         seconds, |C(q)|/|I(q)| in objects, cold = adaptations per query)",
+         seconds, |C(q)|/|I(q)| in objects, cold = adaptations per query, \
+         IDX = UST-tree build seconds at the configured --build-threads)",
     )
-    .with_meta("adaptation_threads", threads as f64);
+    .with_meta("adaptation_threads", threads as f64)
+    .with_meta("index_build_threads", ust_index::par::resolve_threads(build_threads) as f64);
     for n in sweep {
         eprintln!("[fig06] N = {n} (TS threads: {threads})");
         let dataset = build_synthetic(&params, n, params.branching, params.num_objects, settings.seed);
@@ -43,9 +46,13 @@ fn main() {
             num_samples: params.num_samples,
             seed: settings.seed,
             adaptation_threads: threads,
+            index_build_threads: build_threads,
             ..Default::default()
         };
         let engine = QueryEngine::new(&dataset.database, config);
+        let build = *engine.index_build_stats().expect("filter step enabled");
+        report.set_meta(format!("index_build_seconds_n{n}"), build.build_time.as_secs_f64());
+        report.set_meta(format!("reach_memo_hits_n{n}"), build.reach_memo_hits as f64);
         let ts_serial = measure_ts_phase(&engine, &queries, 1);
         let m = measure_efficiency_on(&engine, &queries);
         let speedup = if m.ts_seconds > 0.0 { ts_serial / m.ts_seconds } else { 1.0 };
@@ -58,7 +65,8 @@ fn main() {
                 .with("EX", m.ex_seconds)
                 .with("|C(q)|", m.candidates)
                 .with("|I(q)|", m.influencers)
-                .with("cold", m.cold_adaptations),
+                .with("cold", m.cold_adaptations)
+                .with("IDX", build.build_time.as_secs_f64()),
         );
     }
     report.print();

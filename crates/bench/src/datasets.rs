@@ -86,6 +86,19 @@ impl ScaleParams {
             },
         }
     }
+
+    /// The index-build stress target per scale as `(num_states, num_objects)`:
+    /// the *maxima* of the paper's fig06/fig08 sweep axes rather than the
+    /// mid-point defaults above, because the UST-tree build is what gates
+    /// reaching those sweeps' end points. At paper scale this is the full
+    /// 500k-state / 20k-object workload of the paper's experiments.
+    pub fn index_build_target(scale: RunScale) -> (usize, usize) {
+        match scale {
+            RunScale::Quick => (4_000, 200),
+            RunScale::Default => (50_000, 4_000),
+            RunScale::Paper => (500_000, 20_000),
+        }
+    }
 }
 
 /// Builds a synthetic dataset with explicit overrides of the state-space size,
@@ -156,6 +169,14 @@ mod tests {
         assert!(q.num_states < d.num_states && d.num_states < p.num_states);
         assert!(q.num_objects < d.num_objects && d.num_objects < p.num_objects);
         assert_eq!(p.num_samples, 10_000, "paper scale uses the paper's sample count");
+    }
+
+    #[test]
+    fn index_build_targets_cover_the_paper_sweep_maxima() {
+        assert_eq!(ScaleParams::index_build_target(RunScale::Paper), (500_000, 20_000));
+        let (qs, qo) = ScaleParams::index_build_target(RunScale::Quick);
+        let (ds, do_) = ScaleParams::index_build_target(RunScale::Default);
+        assert!(qs < ds && qo < do_);
     }
 
     #[test]

@@ -43,8 +43,10 @@ pub struct EfficiencyOutcome {
     pub digest: u64,
 }
 
-/// Folds one 64-bit word into an FNV-1a digest.
-fn fnv_fold(digest: u64, word: u64) -> u64 {
+/// Folds one 64-bit word into an FNV-1a digest. The one digest primitive of
+/// the harness — the result-set digests here and the index digest of the
+/// `index_build` bench both build on it.
+pub fn fnv_fold(digest: u64, word: u64) -> u64 {
     let mut d = digest;
     for byte in word.to_le_bytes() {
         d ^= u64::from(byte);
@@ -54,7 +56,7 @@ fn fnv_fold(digest: u64, word: u64) -> u64 {
 }
 
 /// FNV-1a offset basis.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Runs the P∀NNQ / P∃NNQ efficiency measurement over a query workload.
 ///

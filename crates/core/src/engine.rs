@@ -29,7 +29,7 @@ use rand::SeedableRng;
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use ust_index::{UstTree, UstTreeConfig};
+use ust_index::{IndexBuildStats, UstTree, UstTreeConfig};
 use ust_markov::{AdaptedModel, ModelAdaptation};
 use ust_sampling::{PossibleWorld, WorldSampler};
 use ust_spatial::Point;
@@ -61,6 +61,13 @@ pub struct EngineConfig {
     /// serial loop. Per-object results are merged back in ascending object
     /// order, so query output is byte-identical at every thread count.
     pub pcnn_threads: usize,
+    /// Number of worker threads the UST-tree build (the filter-phase index)
+    /// fans per-object diamond construction out across. `0` (the default)
+    /// uses the machine's available parallelism; `1` is the exact serial
+    /// build. The built index is byte-identical at every setting (see
+    /// [`ust_index::UstTreeConfig::build_threads`]); only build wall-clock
+    /// time changes.
+    pub index_build_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +79,7 @@ impl Default for EngineConfig {
             maximal_pcnn_sets: false,
             adaptation_threads: 0,
             pcnn_threads: 0,
+            index_build_threads: 0,
         }
     }
 }
@@ -93,6 +101,12 @@ impl EngineConfig {
     pub fn with_pcnn_threads(self, pcnn_threads: usize) -> Self {
         EngineConfig { pcnn_threads, ..self }
     }
+
+    /// Returns the configuration with the UST-tree build thread count
+    /// overridden (builder style).
+    pub fn with_index_build_threads(self, index_build_threads: usize) -> Self {
+        EngineConfig { index_build_threads, ..self }
+    }
 }
 
 /// Adapted a-posteriori models of a set of objects, as `(id, model)` pairs —
@@ -100,23 +114,36 @@ impl EngineConfig {
 pub type AdaptedModels = Vec<(ObjectId, Arc<AdaptedModel>)>;
 
 /// The probabilistic NN query engine over one trajectory database.
+///
+/// The UST-tree is held behind an [`Arc`], so one (potentially paper-scale)
+/// build can be shared across many engines and threads without a clone:
+/// build once, then hand [`QueryEngine::shared_index`] to
+/// [`QueryEngine::with_index`] on every further engine.
 pub struct QueryEngine<'a> {
     db: &'a TrajectoryDatabase,
-    index: Option<UstTree>,
+    index: Option<Arc<UstTree>>,
     config: EngineConfig,
     cache: AdaptationCache,
 }
 
 impl<'a> QueryEngine<'a> {
     /// Creates an engine, building the UST-tree if the configuration enables
-    /// the filter step.
+    /// the filter step (the build fans out across
+    /// [`EngineConfig::index_build_threads`] workers).
     pub fn new(db: &'a TrajectoryDatabase, config: EngineConfig) -> Self {
-        let index = if config.use_index { Some(UstTree::build(db)) } else { None };
-        QueryEngine { db, index, config, cache: AdaptationCache::new() }
+        let tree_cfg =
+            UstTreeConfig { build_threads: config.index_build_threads, ..Default::default() };
+        Self::with_index_config(db, config, &tree_cfg)
     }
 
-    /// Creates an engine reusing a pre-built UST-tree.
-    pub fn with_index(db: &'a TrajectoryDatabase, index: UstTree, config: EngineConfig) -> Self {
+    /// Creates an engine reusing a pre-built UST-tree. The `Arc` makes the
+    /// share explicit: any number of engines (across threads) can serve
+    /// queries from the same build.
+    pub fn with_index(
+        db: &'a TrajectoryDatabase,
+        index: Arc<UstTree>,
+        config: EngineConfig,
+    ) -> Self {
         QueryEngine { db, index: Some(index), config, cache: AdaptationCache::new() }
     }
 
@@ -126,7 +153,8 @@ impl<'a> QueryEngine<'a> {
         config: EngineConfig,
         tree_cfg: &UstTreeConfig,
     ) -> Self {
-        let index = if config.use_index { Some(UstTree::build_with(db, tree_cfg)) } else { None };
+        let index =
+            if config.use_index { Some(Arc::new(UstTree::build_with(db, tree_cfg))) } else { None };
         QueryEngine { db, index, config, cache: AdaptationCache::new() }
     }
 
@@ -144,7 +172,21 @@ impl<'a> QueryEngine<'a> {
 
     /// The UST-tree, if the filter step is enabled.
     pub fn index(&self) -> Option<&UstTree> {
-        self.index.as_ref()
+        self.index.as_deref()
+    }
+
+    /// A shareable handle to the UST-tree (if the filter step is enabled),
+    /// for building further engines over the same index without re-building:
+    /// `QueryEngine::with_index(db, engine.shared_index().unwrap(), cfg)`.
+    pub fn shared_index(&self) -> Option<Arc<UstTree>> {
+        self.index.clone()
+    }
+
+    /// Observability counters of the UST-tree build (wall time, diamond
+    /// count, reach-memo hits, peak BFS frontier), if the filter step is
+    /// enabled. The bench harness surfaces these in its report meta.
+    pub fn index_build_stats(&self) -> Option<&IndexBuildStats> {
+        self.index.as_deref().map(UstTree::build_stats)
     }
 
     /// The engine configuration.
@@ -793,6 +835,50 @@ mod tests {
         assert_eq!(warm.cold_adaptations, 0);
         assert_eq!(warm.cache_hits, db.len());
         assert_eq!(warm.cold_time, Duration::ZERO, "warm lookups are not TS work");
+    }
+
+    #[test]
+    fn one_index_build_serves_many_engines() {
+        let db = covered_db();
+        let first = QueryEngine::new(&db, EngineConfig::with_samples(300));
+        let shared = first.shared_index().expect("filter step enabled by default");
+        let second = QueryEngine::with_index(&db, shared, EngineConfig::with_samples(300));
+        assert!(
+            std::ptr::eq(first.index().unwrap(), second.index().unwrap()),
+            "the second engine must serve queries from the same build, not a clone"
+        );
+        let q = query();
+        let a = first.pforall_nn(&q, 0.0).unwrap();
+        let b = second.pforall_nn(&q, 0.0).unwrap();
+        assert_eq!(a.results, b.results);
+        let stats = first.index_build_stats().expect("index stats available");
+        assert!(stats.diamonds >= 1);
+        assert!(stats.build_threads >= 1);
+        let no_index = QueryEngine::new(
+            &db,
+            EngineConfig { use_index: false, num_samples: 10, ..Default::default() },
+        );
+        assert!(no_index.shared_index().is_none());
+        assert!(no_index.index_build_stats().is_none());
+    }
+
+    #[test]
+    fn index_build_thread_count_does_not_change_results() {
+        let db = covered_db();
+        let q = query();
+        let serial = QueryEngine::new(
+            &db,
+            EngineConfig { num_samples: 400, index_build_threads: 1, ..Default::default() },
+        );
+        let sharded = QueryEngine::new(
+            &db,
+            EngineConfig { num_samples: 400, index_build_threads: 4, ..Default::default() },
+        );
+        assert_eq!(
+            serial.pforall_nn(&q, 0.0).unwrap().results,
+            sharded.pforall_nn(&q, 0.0).unwrap().results,
+            "build thread count must not change query results"
+        );
     }
 
     #[test]

@@ -251,53 +251,16 @@ impl AdaptationCache {
     }
 }
 
+/// The workspace's one implementation of the chunked ordered fan-out lives in
+/// [`ust_index::par`] (the UST-tree build shards through it too); the TS
+/// phase ([`adapt_batch`]), the PCNN per-candidate runs and the bench
+/// harness's per-object loops all re-use it through this re-export.
+pub use ust_index::par::parallel_map_ordered;
+
 /// Resolves a configured [`adaptation_threads`](crate::EngineConfig) value:
 /// `0` means "use the machine's available parallelism".
 pub fn resolve_adaptation_threads(configured: usize) -> usize {
-    if configured == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        configured
-    }
-}
-
-/// Applies `f` to every item of a slice, fanning the calls out across at most
-/// `threads` scoped workers (`0` = available parallelism). Results are
-/// returned in input order regardless of which worker finished first, so
-/// downstream consumers see a deterministic ordering. With `threads = 1` (or
-/// at most one item) no thread is spawned and the loop is exactly the serial
-/// path.
-///
-/// This is the workspace's one implementation of the chunked ordered fan-out;
-/// both the TS phase ([`adapt_batch`]) and the per-object evaluation loops of
-/// the bench harness build on it.
-pub fn parallel_map_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = resolve_adaptation_threads(threads).min(items.len()).max(1);
-    if threads == 1 {
-        return items.iter().map(f).collect();
-    }
-    let mut results: Vec<Option<R>> = Vec::new();
-    results.resize_with(items.len(), || None);
-    let chunk = items.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (in_chunk, out_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            let f = &f;
-            scope.spawn(move || {
-                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    results.into_iter().map(|r| r.expect("every worker fills its chunk")).collect()
+    ust_index::par::resolve_threads(configured)
 }
 
 /// Adapts a batch of (cold) object ids through the cache, fanning the work out
@@ -452,18 +415,9 @@ mod tests {
 
     #[test]
     fn resolve_threads_maps_zero_to_available_parallelism() {
+        // Thin delegation to `ust_index::par::resolve_threads`, which has the
+        // full edge-case coverage.
         assert!(resolve_adaptation_threads(0) >= 1);
         assert_eq!(resolve_adaptation_threads(3), 3);
-    }
-
-    #[test]
-    fn parallel_map_preserves_order_and_handles_edges() {
-        let empty: Vec<i32> = Vec::new();
-        assert!(parallel_map_ordered(&empty, 4, |x: &i32| *x).is_empty());
-        let items: Vec<i32> = (0..37).collect();
-        for threads in [1usize, 3, 64] {
-            let doubled = parallel_map_ordered(&items, threads, |x| x * 2);
-            assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-        }
     }
 }

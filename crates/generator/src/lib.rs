@@ -42,7 +42,7 @@ pub use map_match::{
     learn_model_from_matches, map_match, GeoFrame, MapMatchConfig, MapMatchOutcome, MatchStats,
     MatchedObject,
 };
-pub use network::Network;
+pub use network::{Network, PathFinder};
 pub use objects::{GeneratedObject, ObjectWorkloadConfig};
 pub use road_network::{RoadNetworkConfig, TaxiWorkloadConfig};
 pub use synthetic::SyntheticNetworkConfig;

@@ -15,7 +15,7 @@
 //! the full per-tic ground-truth trajectory; the discarded positions "serve as
 //! ground truth for effectiveness experiments" (Figure 12).
 
-use crate::network::Network;
+use crate::network::{Network, PathFinder};
 use crate::Timestamp;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -91,14 +91,28 @@ pub fn generate_objects(
     first_id: ObjectId,
 ) -> Vec<GeneratedObject> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // One shared path finder: its epoch-stamped scratch makes the thousands
+    // of waypoint-leg queries of a paper-scale workload allocation-free.
+    let mut finder = PathFinder::new(network);
     (0..cfg.num_objects)
-        .map(|k| generate_object(network, cfg, first_id + k as ObjectId, &mut rng))
+        .map(|k| generate_object_with(&mut finder, cfg, first_id + k as ObjectId, &mut rng))
         .collect()
 }
 
 /// Generates a single object with the given id.
 pub fn generate_object(
     network: &Network,
+    cfg: &ObjectWorkloadConfig,
+    id: ObjectId,
+    rng: &mut StdRng,
+) -> GeneratedObject {
+    generate_object_with(&mut PathFinder::new(network), cfg, id, rng)
+}
+
+/// [`generate_object`] over a caller-provided [`PathFinder`], so loops reuse
+/// one search scratch across objects.
+pub fn generate_object_with(
+    finder: &mut PathFinder<'_>,
     cfg: &ObjectWorkloadConfig,
     id: ObjectId,
     rng: &mut StdRng,
@@ -115,7 +129,7 @@ pub fn generate_object(
     let standing = rng.gen::<f64>() < cfg.standing_fraction;
     let l = if standing { 0 } else { cfg.nodes_per_interval() };
     let needed_nodes = (num_obs - 1) * l + 1;
-    let path = random_path(network, needed_nodes, rng);
+    let path = random_path(finder, needed_nodes, rng);
 
     // Observations: every i tics, the object has advanced l path nodes.
     let observations: Vec<(Timestamp, StateId)> = (0..num_obs)
@@ -144,8 +158,8 @@ pub fn generate_object(
 /// Builds a path of at least `needed` nodes by concatenating shortest paths
 /// between uniformly sampled waypoint states ("we sample a sequence of states
 /// and compute the shortest paths between them").
-fn random_path(network: &Network, needed: usize, rng: &mut StdRng) -> Vec<StateId> {
-    let n = network.num_states() as StateId;
+fn random_path(finder: &mut PathFinder<'_>, needed: usize, rng: &mut StdRng) -> Vec<StateId> {
+    let n = finder.network().num_states() as StateId;
     let mut path: Vec<StateId> = vec![rng.gen_range(0..n)];
     let mut attempts = 0usize;
     while path.len() < needed && attempts < 64 {
@@ -155,7 +169,7 @@ fn random_path(network: &Network, needed: usize, rng: &mut StdRng) -> Vec<StateI
             attempts += 1;
             continue;
         }
-        match network.shortest_path(last, target) {
+        match finder.shortest_path(last, target) {
             Some(seg) if seg.len() > 1 => {
                 path.extend_from_slice(&seg[1..]);
                 attempts = 0;

@@ -22,7 +22,8 @@
 //! as an observation, and the discarded positions kept as ground truth.
 
 use crate::network::Network;
-use crate::objects::{generate_object, GeneratedObject, ObjectWorkloadConfig};
+use crate::network::PathFinder;
+use crate::objects::{generate_object_with, GeneratedObject, ObjectWorkloadConfig};
 use crate::Timestamp;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -171,10 +172,11 @@ impl Default for TaxiWorkloadConfig {
 pub fn learn_taxi_model(network: &Network, cfg: &TaxiWorkloadConfig) -> MarkovModel {
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x7a71));
     let mut counts: FxHashMap<(StateId, StateId), f64> = FxHashMap::default();
+    let mut finder = PathFinder::new(network);
     for _ in 0..cfg.training_trips {
         let from = sample_center_biased_state(network, cfg.center_bias, &mut rng);
         let to = sample_center_biased_state(network, cfg.center_bias, &mut rng);
-        let Some(path) = network.shortest_path(from, to) else { continue };
+        let Some(path) = finder.shortest_path(from, to) else { continue };
         for w in path.windows(2) {
             *counts.entry((w[0], w[1])).or_insert(0.0) += 1.0;
             // Occasional waiting at a crossing (traffic lights, congestion).
@@ -236,11 +238,12 @@ pub fn generate_taxi_dataset(
     };
     let mut rng = StdRng::seed_from_u64(taxi_cfg.seed.wrapping_add(1));
     let mut objects = Vec::with_capacity(taxi_cfg.num_objects);
+    let mut finder = PathFinder::new(&network);
     for k in 0..taxi_cfg.num_objects {
         // Bias the taxis' starting areas towards the centre as well, so the
         // non-uniform density the paper mentions is reproduced.
         let start = sample_center_biased_state(&network, taxi_cfg.center_bias, &mut rng);
-        let mut g = generate_object(&network, &obj_cfg, k as ObjectId, &mut rng);
+        let mut g = generate_object_with(&mut finder, &obj_cfg, k as ObjectId, &mut rng);
         // Re-anchor standing taxis at the biased start state to concentrate
         // them downtown; moving taxis keep their generated path.
         if g.object.observations().iter().all(|o| o.state == g.object.observations()[0].state) {

@@ -24,12 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod diamond;
+pub mod par;
 pub mod pruning;
 pub mod tree;
 
 pub use diamond::Diamond;
 pub use pruning::PruningResult;
-pub use tree::{UstTree, UstTreeConfig};
+pub use tree::{IndexBuildStats, UstTree, UstTreeConfig};
 
 pub use ust_markov::Timestamp;
 pub use ust_spatial::StateId;

@@ -1,0 +1,82 @@
+//! The workspace's chunked ordered fan-out.
+//!
+//! One scoped-thread fan-out serves every parallel phase of the pipeline: the
+//! sharded UST-tree build below ([`crate::UstTreeConfig::build_threads`]), the
+//! engine's model-adaptation ("TS") batch and its per-candidate PCNN lattice
+//! runs (`ust_core::prepare` re-exports these helpers). The discipline is
+//! always the same:
+//!
+//! * `0` worker threads means "use the machine's available parallelism",
+//! * `1` degenerates to the exact serial loop — no thread is spawned, so the
+//!   behaviour (and any observable side-effect ordering) is bit-identical to
+//!   the pre-parallel code,
+//! * any other count partitions the items into contiguous chunks, one scoped
+//!   worker per chunk, and merges results back **in input order** — callers
+//!   see a deterministic ordering no matter which worker finished first.
+
+/// Resolves a configured worker-thread count: `0` means "use the machine's
+/// available parallelism".
+pub fn resolve_threads(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        configured
+    }
+}
+
+/// Applies `f` to every item of a slice, fanning the calls out across at most
+/// `threads` scoped workers (`0` = available parallelism). Results are
+/// returned in input order regardless of which worker finished first, so
+/// downstream consumers see a deterministic ordering. With `threads = 1` (or
+/// at most one item) no thread is spawned and the loop is exactly the serial
+/// path.
+pub fn parallel_map_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = resolve_threads(threads).min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("every worker fills its chunk")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_threads_maps_zero_to_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_handles_edges() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map_ordered(&empty, 4, |x: &i32| *x).is_empty());
+        let items: Vec<i32> = (0..37).collect();
+        for threads in [1usize, 3, 64] {
+            let doubled = parallel_map_ordered(&items, threads, |x| x * 2);
+            assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+}

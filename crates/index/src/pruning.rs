@@ -54,33 +54,73 @@ impl PruningResult {
     }
 }
 
+/// Sentinel for "object not alive at this query timestamp": no real record
+/// can produce it, since distances are non-negative (`dmin ≥ 0 > -∞`).
+const ABSENT: (f64, f64) = (f64::NEG_INFINITY, f64::INFINITY);
+
 /// Per-object distance bounds collected from the index, used to evaluate the
 /// pruning predicates.
+///
+/// Bounds live in one flat arena `bounds[slot * num_times + time_idx]`
+/// indexed by a per-query object-slot interner, so the filter hot loop
+/// (one entry per diamond per covered timestamp) costs a vector write
+/// instead of a hash lookup. Slots are handed out in first-touch order —
+/// the deterministic R\*-tree streaming order — and the evaluated
+/// candidate/influence sets are sorted by object id, so results are
+/// independent of the interning order.
 #[derive(Debug, Default)]
 pub(crate) struct BoundsTable {
-    /// `bounds[object][time index] = Some((dmin, dmax))` if the object is
-    /// alive at that query timestamp.
-    bounds: FxHashMap<ObjectId, Vec<Option<(f64, f64)>>>,
+    /// Object id → arena slot, interned once per diamond (not per timestamp).
+    slot_of: FxHashMap<ObjectId, u32>,
+    /// Arena slot → object id.
+    objects: Vec<ObjectId>,
+    /// `num_times` bounds per slot; [`ABSENT`] where the object has none.
+    bounds: Vec<(f64, f64)>,
     num_times: usize,
 }
 
 impl BoundsTable {
     pub(crate) fn new(num_times: usize) -> Self {
-        BoundsTable { bounds: FxHashMap::default(), num_times }
+        BoundsTable {
+            slot_of: FxHashMap::default(),
+            objects: Vec::new(),
+            bounds: Vec::new(),
+            num_times,
+        }
     }
 
-    /// Records bounds for `(object, time index)`. If the object already has
+    /// Interns an object into its arena slot (one hash lookup per *diamond*;
+    /// the per-timestamp records then index the arena directly).
+    pub(crate) fn slot(&mut self, object: ObjectId) -> u32 {
+        match self.slot_of.entry(object) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let slot = self.objects.len() as u32;
+                e.insert(slot);
+                self.objects.push(object);
+                self.bounds.extend(std::iter::repeat_n(ABSENT, self.num_times));
+                slot
+            }
+        }
+    }
+
+    /// Records bounds for `(slot, time index)`. If the slot already has
     /// bounds at that index (e.g. two adjacent segments sharing an observation
-    /// timestamp), the tighter bounds are kept.
+    /// timestamp), the tighter bounds are kept — which is also what turns the
+    /// [`ABSENT`] sentinel into the recorded bounds on first touch.
+    #[inline]
+    pub(crate) fn record_at(&mut self, slot: u32, time_idx: usize, dmin: f64, dmax: f64) {
+        let b = &mut self.bounds[slot as usize * self.num_times + time_idx];
+        b.0 = b.0.max(dmin);
+        b.1 = b.1.min(dmax);
+    }
+
+    /// [`Self::slot`] + [`Self::record_at`] in one call, for callers (tests,
+    /// the brute-force reference) that do not batch per object.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn record(&mut self, object: ObjectId, time_idx: usize, dmin: f64, dmax: f64) {
-        let entry = self
-            .bounds
-            .entry(object)
-            .or_insert_with(|| vec![None; self.num_times]);
-        entry[time_idx] = Some(match entry[time_idx] {
-            Some((lo, hi)) => (lo.max(dmin), hi.min(dmax)),
-            None => (dmin, dmax),
-        });
+        let slot = self.slot(object);
+        self.record_at(slot, time_idx, dmin, dmax);
     }
 
     /// Evaluates the pruning predicates for 1-NN queries.
@@ -91,35 +131,48 @@ impl BoundsTable {
 
     /// Evaluates the pruning predicates for k-NN queries: the pruning distance
     /// at every timestamp is the k-th smallest `dmax` (an object can only be
-    /// part of the k-NN set if its `dmin` does not exceed it).
+    /// part of the k-NN set if its `dmin` does not exceed it), selected in
+    /// `O(n)` via `select_nth_unstable` instead of a full sort.
     pub(crate) fn evaluate_knn(&self, times: &[Timestamp], k: usize) -> PruningResult {
-        let k = k.max(1);
-        let mut dmax_per_time: Vec<Vec<f64>> = vec![Vec::new(); self.num_times];
-        for per_time in self.bounds.values() {
-            for (i, b) in per_time.iter().enumerate() {
-                if let Some((_, dmax)) = b {
-                    dmax_per_time[i].push(*dmax);
-                }
-            }
+        if self.num_times == 0 {
+            return PruningResult {
+                times: Vec::new(),
+                candidates: Vec::new(),
+                influencers: Vec::new(),
+                prune_distances: Vec::new(),
+            };
         }
+        let k = k.max(1);
         let mut prune_distances = vec![f64::INFINITY; self.num_times];
-        for (i, values) in dmax_per_time.iter_mut().enumerate() {
-            if values.is_empty() {
+        let mut column: Vec<f64> = Vec::with_capacity(self.objects.len());
+        for (i, prune) in prune_distances.iter_mut().enumerate() {
+            column.clear();
+            column.extend(
+                self.bounds
+                    .iter()
+                    .skip(i)
+                    .step_by(self.num_times)
+                    .filter(|b| b.0 >= 0.0)
+                    .map(|b| b.1),
+            );
+            if column.is_empty() {
                 continue;
             }
-            values.sort_by(f64::total_cmp);
-            prune_distances[i] = values[(k - 1).min(values.len() - 1)];
+            let nth = (k - 1).min(column.len() - 1);
+            column.select_nth_unstable_by(nth, f64::total_cmp);
+            *prune = column[nth];
         }
         let mut candidates = Vec::new();
         let mut influencers = Vec::new();
-        for (&object, per_time) in &self.bounds {
+        for (slot, &object) in self.objects.iter().enumerate() {
+            let row = &self.bounds[slot * self.num_times..(slot + 1) * self.num_times];
             let mut qualifies_everywhere = true;
             let mut qualifies_somewhere = false;
-            for (i, b) in per_time.iter().enumerate() {
-                match b {
-                    Some((dmin, _)) if *dmin <= prune_distances[i] => qualifies_somewhere = true,
-                    Some(_) => qualifies_everywhere = false,
-                    None => qualifies_everywhere = false,
+            for (i, b) in row.iter().enumerate() {
+                if b.0 >= 0.0 && b.0 <= prune_distances[i] {
+                    qualifies_somewhere = true;
+                } else {
+                    qualifies_everywhere = false;
                 }
             }
             if qualifies_somewhere {

@@ -1,14 +1,27 @@
 //! The UST-tree: diamond approximations indexed in an R\*-tree.
+//!
+//! The build fans the per-object diamond construction out across scoped
+//! worker shards ([`UstTreeConfig::build_threads`]) and memoizes the
+//! reachability geometry of repeated commutes, so paper-scale databases
+//! (hundreds of thousands of states, tens of thousands of objects) index in
+//! parallel. Shards emit their diamond runs in object order and the runs are
+//! concatenated before one STR bulk load, so the resulting index — diamond
+//! order, R\*-tree shape, every pruning result — is byte-identical at every
+//! thread count.
 
 use crate::diamond::Diamond;
+use crate::par::{parallel_map_ordered, resolve_threads};
 use crate::pruning::{BoundsTable, PruningResult};
-use crate::Timestamp;
+use crate::{StateId, Timestamp};
 use rustc_hash::FxHashMap;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use ust_markov::reachability::ReachabilityIndex;
 use ust_markov::MarkovModel;
-use ust_spatial::{Point, RTree, Rect3};
-use ust_trajectory::TrajectoryDatabase;
+use ust_spatial::{Point, RTree, Rect2, Rect3, StateSpace};
+use ust_trajectory::{TrajectoryDatabase, UncertainObject};
 
 /// Build-time configuration of the UST-tree.
 #[derive(Debug, Clone, Copy)]
@@ -19,12 +32,181 @@ pub struct UstTreeConfig {
     pub per_timestamp_mbrs: bool,
     /// Node capacity of the underlying R\*-tree.
     pub rtree_capacity: usize,
+    /// Number of worker threads the per-object diamond construction fans out
+    /// across. `0` (the default) uses the machine's available parallelism;
+    /// `1` is the exact serial loop. The built index is byte-identical at
+    /// every setting — shards emit ordered diamond runs that are concatenated
+    /// in object order before the bulk load — only wall-clock time changes.
+    pub build_threads: usize,
+    /// Memoize the reachability geometry of repeated commutes (same a-priori
+    /// model, same endpoint states, same time gap), so only the first
+    /// occurrence runs the forward/backward BFS. The geometry is a pure
+    /// function of the commute, so this never changes the built index; the
+    /// switch exists for the `index_build` benchmark's no-memo baseline.
+    pub reach_memo: bool,
 }
 
 impl Default for UstTreeConfig {
     fn default() -> Self {
-        UstTreeConfig { per_timestamp_mbrs: true, rtree_capacity: 32 }
+        UstTreeConfig {
+            per_timestamp_mbrs: true,
+            rtree_capacity: 32,
+            build_threads: 0,
+            reach_memo: true,
+        }
     }
+}
+
+/// Observability counters of one UST-tree build, surfaced through
+/// `QueryEngine` and the bench harness so the paper-scale build trajectory is
+/// measurable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexBuildStats {
+    /// Wall-clock time of the whole build (reachability, diamonds, bulk load).
+    pub build_time: Duration,
+    /// Resolved worker-thread count the diamond construction fanned out
+    /// across (after `0` → available parallelism).
+    pub build_threads: usize,
+    /// Objects indexed.
+    pub objects: usize,
+    /// Observation segments processed (one reachability commute each).
+    pub segments: usize,
+    /// Diamonds actually indexed (segments with consistent observations).
+    pub diamonds: usize,
+    /// Segments whose geometry was answered from the reach memo (no BFS run).
+    pub reach_memo_hits: usize,
+    /// Segments whose geometry ran the forward/backward BFS.
+    pub reach_memo_misses: usize,
+    /// Largest per-timestamp reachable-state set encountered across all
+    /// segments — the peak BFS frontier, the quantity that blows up first
+    /// when the state space or the observation gap grows.
+    pub peak_frontier: usize,
+}
+
+impl IndexBuildStats {
+    /// Memo hit rate in `[0, 1]` (zero for an empty build).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.reach_memo_hits + self.reach_memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.reach_memo_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The time-shifted geometry of one commute: everything a [`Diamond`] needs
+/// except the object id and the absolute timestamps. A pure function of
+/// `(a-priori model, from-state, to-state, gap)`, which is what makes it
+/// memoizable across objects.
+#[derive(Debug, Clone)]
+struct DiamondGeometry {
+    /// MBR over all states reachable anywhere in the commute.
+    mbr: Rect2,
+    /// Per relative timestamp (0 ..= gap), the MBR of the reachable states.
+    per_time: Vec<Rect2>,
+    /// Largest per-timestamp reachable-state count of this commute.
+    peak_frontier: usize,
+}
+
+/// Memo key: the shared reachability index (by address — the `Arc`s live for
+/// the whole build, so addresses are stable and unique), the commute's
+/// endpoint states and its time gap.
+type GeoKey = (usize, StateId, StateId, u32);
+
+/// Number of memo shards; a power of two so shard selection is a mask.
+const MEMO_SHARDS: usize = 16;
+
+/// A sharded memo of commute geometries shared across build workers.
+///
+/// Geometry is a pure function of the key, so the memo needs no anti-stampede
+/// claim discipline: two workers racing on the same cold commute both compute
+/// the same value and the second insert is a no-op. Hit/miss counters feed
+/// [`IndexBuildStats`].
+struct GeometryMemo {
+    shards: Vec<Mutex<FxHashMap<GeoKey, Arc<Option<DiamondGeometry>>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    enabled: bool,
+}
+
+impl GeometryMemo {
+    fn new(enabled: bool) -> Self {
+        GeometryMemo {
+            shards: (0..MEMO_SHARDS).map(|_| Mutex::new(FxHashMap::default())).collect(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            enabled,
+        }
+    }
+
+    /// Returns the geometry of a commute, computing (and caching) it on the
+    /// first occurrence. `None` means the commute is inconsistent (the target
+    /// is unreachable in the given gap) and yields no diamond.
+    fn geometry(
+        &self,
+        reach: &ReachabilityIndex,
+        reach_key: usize,
+        space: &StateSpace,
+        from_state: StateId,
+        to_state: StateId,
+        gap: u32,
+    ) -> Arc<Option<DiamondGeometry>> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(compute_geometry(reach, space, from_state, to_state, gap));
+        }
+        let key: GeoKey = (reach_key, from_state, to_state, gap);
+        let mut hasher = rustc_hash::FxHasher::default();
+        key.hash(&mut hasher);
+        let shard = &self.shards[(hasher.finish() as usize) & (MEMO_SHARDS - 1)];
+        if let Some(geo) = shard.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return geo.clone();
+        }
+        // Compute outside the lock: a BFS can be long, and a racing duplicate
+        // computation of the same pure value is cheaper than serialising all
+        // cold commutes of the shard behind it.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let geo = Arc::new(compute_geometry(reach, space, from_state, to_state, gap));
+        shard
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(key)
+            .or_insert_with(|| geo.clone())
+            .clone()
+    }
+}
+
+/// Runs the forward/backward BFS of one commute and boxes the reachable sets.
+fn compute_geometry(
+    reach: &ReachabilityIndex,
+    space: &StateSpace,
+    from_state: StateId,
+    to_state: StateId,
+    gap: u32,
+) -> Option<DiamondGeometry> {
+    let sets = reach.segment((0, from_state), (gap, to_state));
+    if !sets.is_consistent() {
+        return None;
+    }
+    let mut mbr = Rect2::empty();
+    let mut per_time = Vec::with_capacity(sets.per_time.len());
+    let mut peak_frontier = 0usize;
+    for states in &sets.per_time {
+        peak_frontier = peak_frontier.max(states.len());
+        let r = space.mbr_of(states.iter().copied());
+        mbr.extend(&r);
+        per_time.push(r);
+    }
+    Some(DiamondGeometry { mbr, per_time, peak_frontier })
+}
+
+/// Diamond run of one object plus the per-object stats to merge.
+struct ObjectRun {
+    diamonds: Vec<Diamond>,
+    segments: usize,
+    peak_frontier: usize,
 }
 
 /// The UST-tree over a trajectory database.
@@ -33,6 +215,7 @@ pub struct UstTree {
     diamonds: Vec<Diamond>,
     rtree: RTree<3, usize>,
     num_objects: usize,
+    build_stats: IndexBuildStats,
 }
 
 impl UstTree {
@@ -43,51 +226,67 @@ impl UstTree {
     }
 
     /// Builds the index with an explicit configuration.
+    ///
+    /// The per-object diamond construction is fanned out across
+    /// [`build_threads`](UstTreeConfig::build_threads) scoped workers; each
+    /// worker emits its objects' diamonds in segment order and the ordered
+    /// runs are concatenated in object order before a single STR bulk load,
+    /// so the index is byte-identical at every thread count.
     pub fn build_with(db: &TrajectoryDatabase, cfg: &UstTreeConfig) -> Self {
+        let start = Instant::now();
+        let space = db.state_space();
+
         // Reachability indexes are derived from a-priori models; objects
         // sharing a model (the common case) share the reachability index.
+        // They are computed once up front, so the per-object fan-out below
+        // only ever reads them.
         let mut reach_cache: FxHashMap<usize, Arc<ReachabilityIndex>> = FxHashMap::default();
-        let mut reach_for = |model: &Arc<MarkovModel>| -> Arc<ReachabilityIndex> {
+        let mut reach_for = |model: &Arc<MarkovModel>| -> (usize, Arc<ReachabilityIndex>) {
             let key = Arc::as_ptr(model) as usize;
-            reach_cache
+            let reach = reach_cache
                 .entry(key)
                 .or_insert_with(|| {
                     Arc::new(ReachabilityIndex::from_matrix(model.matrix_at(0)))
                 })
-                .clone()
+                .clone();
+            (key, reach)
         };
+        let work: Vec<(&UncertainObject, usize, Arc<ReachabilityIndex>)> = db
+            .objects()
+            .iter()
+            .map(|object| {
+                let (key, reach) = reach_for(db.model_for(object.id()));
+                (object, key, reach)
+            })
+            .collect();
 
-        let space = db.state_space();
-        let mut diamonds: Vec<Diamond> = Vec::new();
-        for object in db.objects() {
-            let reach = reach_for(db.model_for(object.id()));
-            if object.num_observations() == 1 {
-                // Degenerate segment: the object exists only at its single
-                // observation instant.
-                let obs = object.observations()[0];
-                let sets = reach.segment((obs.time, obs.state), (obs.time, obs.state));
-                if let Some(d) = Diamond::from_reachability(
-                    object.id(),
-                    &sets,
-                    space,
-                    cfg.per_timestamp_mbrs,
-                ) {
-                    diamonds.push(d);
-                }
-                continue;
-            }
-            for (from, to) in object.segments() {
-                let sets = reach.segment((from.time, from.state), (to.time, to.state));
-                if let Some(d) = Diamond::from_reachability(
-                    object.id(),
-                    &sets,
-                    space,
-                    cfg.per_timestamp_mbrs,
-                ) {
-                    diamonds.push(d);
-                }
-            }
+        // Resolve once, with the same per-item clamp the fan-out applies, so
+        // the reported thread count is what actually ran.
+        let build_threads = resolve_threads(cfg.build_threads).min(db.len()).max(1);
+        let memo = GeometryMemo::new(cfg.reach_memo);
+        let runs: Vec<ObjectRun> = parallel_map_ordered(
+            &work,
+            build_threads,
+            |&(object, reach_key, ref reach)| {
+                build_object_run(object, reach, reach_key, space, &memo, cfg)
+            },
+        );
+
+        let mut stats = IndexBuildStats {
+            build_threads,
+            objects: db.len(),
+            reach_memo_hits: memo.hits.load(Ordering::Relaxed),
+            reach_memo_misses: memo.misses.load(Ordering::Relaxed),
+            ..Default::default()
+        };
+        let mut diamonds: Vec<Diamond> =
+            Vec::with_capacity(runs.iter().map(|r| r.diamonds.len()).sum());
+        for run in runs {
+            stats.segments += run.segments;
+            stats.peak_frontier = stats.peak_frontier.max(run.peak_frontier);
+            diamonds.extend(run.diamonds);
         }
+        stats.diamonds = diamonds.len();
 
         let items: Vec<(Rect3, usize)> = diamonds
             .iter()
@@ -95,7 +294,8 @@ impl UstTree {
             .map(|(i, d)| (d.space_time_box(), i))
             .collect();
         let rtree = RTree::bulk_load_with_capacity(items, cfg.rtree_capacity);
-        UstTree { diamonds, rtree, num_objects: db.len() }
+        stats.build_time = start.elapsed();
+        UstTree { diamonds, rtree, num_objects: db.len(), build_stats: stats }
     }
 
     /// Number of indexed diamonds (one per observation segment).
@@ -108,22 +308,42 @@ impl UstTree {
         self.num_objects
     }
 
+    /// Observability counters of the build (wall time, memo hit/miss, peak
+    /// BFS frontier — see [`IndexBuildStats`]).
+    pub fn build_stats(&self) -> &IndexBuildStats {
+        &self.build_stats
+    }
+
     /// All diamonds (for diagnostics and tests).
     pub fn diamonds(&self) -> &[Diamond] {
         &self.diamonds
     }
 
-    /// Diamonds whose time interval overlaps `[t_from, t_to]`.
-    pub fn diamonds_overlapping(&self, t_from: Timestamp, t_to: Timestamp) -> Vec<&Diamond> {
+    /// Calls `f` for every diamond whose time interval overlaps
+    /// `[t_from, t_to]`, in deterministic R\*-tree traversal order.
+    ///
+    /// This is the streaming form the filter step uses — no intermediate
+    /// `Vec` of references is materialised per query.
+    pub fn for_each_overlapping<'s>(
+        &'s self,
+        t_from: Timestamp,
+        t_to: Timestamp,
+        mut f: impl FnMut(&'s Diamond),
+    ) {
         let query = Rect3::new(
             [f64::NEG_INFINITY, f64::NEG_INFINITY, t_from as f64],
             [f64::INFINITY, f64::INFINITY, t_to as f64],
         );
-        self.rtree
-            .query_intersecting(&query)
-            .into_iter()
-            .map(|&i| &self.diamonds[i])
-            .collect()
+        self.rtree.for_each_intersecting(&query, |_, &i| f(&self.diamonds[i]));
+    }
+
+    /// Diamonds whose time interval overlaps `[t_from, t_to]`, collected into
+    /// a `Vec` — a thin wrapper over [`Self::for_each_overlapping`] kept for
+    /// diagnostics and tests.
+    pub fn diamonds_overlapping(&self, t_from: Timestamp, t_to: Timestamp) -> Vec<&Diamond> {
+        let mut out = Vec::new();
+        self.for_each_overlapping(t_from, t_to, |d| out.push(d));
+        out
     }
 
     /// Runs the filter step of Section 6 for a query given by per-timestamp
@@ -141,12 +361,22 @@ impl UstTree {
 
     /// The filter step for k-NN queries: the pruning distance at every
     /// timestamp is the k-th smallest `dmax` over all alive objects.
+    ///
+    /// `times` must be ascending (as produced by `Query::times`); the
+    /// streamed probe below relies on the covered timestamps of each diamond
+    /// forming a contiguous subrange.
+    ///
+    /// Diamonds are streamed straight out of the R\*-tree into a dense
+    /// per-query bounds arena (the slot-interned `BoundsTable` of
+    /// `pruning.rs`): the object slot is interned once per diamond, and only
+    /// the query timestamps inside the diamond's time interval are probed.
     pub fn prune_knn(
         &self,
         times: &[Timestamp],
         query_pos: impl Fn(Timestamp) -> Point,
         k: usize,
     ) -> PruningResult {
+        debug_assert!(times.is_sorted(), "query timestamps must be ascending");
         if times.is_empty() {
             return PruningResult {
                 times: Vec::new(),
@@ -159,15 +389,22 @@ impl UstTree {
         let t_to = *times.last().expect("non-empty");
         let positions: Vec<Point> = times.iter().map(|&t| query_pos(t)).collect();
         let mut table = BoundsTable::new(times.len());
-        for diamond in self.diamonds_overlapping(t_from, t_to) {
-            for (i, &t) in times.iter().enumerate() {
-                if let (Some(dmin), Some(dmax)) =
-                    (diamond.dmin(t, &positions[i]), diamond.dmax(t, &positions[i]))
-                {
-                    table.record(diamond.object, i, dmin, dmax);
-                }
+        self.for_each_overlapping(t_from, t_to, |diamond| {
+            // Probe only the query timestamps the diamond actually covers
+            // (times are ascending, so the covered ones form a subrange).
+            let lo = times.partition_point(|&t| t < diamond.t_start);
+            let hi = times.partition_point(|&t| t <= diamond.t_end);
+            if lo == hi {
+                return;
             }
-        }
+            let slot = table.slot(diamond.object);
+            for i in lo..hi {
+                let rect = diamond
+                    .rect_at(times[i])
+                    .expect("timestamp inside the diamond's interval");
+                table.record_at(slot, i, rect.min_dist(&positions[i]), rect.max_dist(&positions[i]));
+            }
+        });
         table.evaluate_knn(times, k)
     }
 
@@ -175,6 +412,43 @@ impl UstTree {
     pub fn prune_point(&self, times: &[Timestamp], q: Point) -> PruningResult {
         self.prune(times, |_| q)
     }
+}
+
+/// Builds the ordered diamond run of one object.
+fn build_object_run(
+    object: &UncertainObject,
+    reach: &ReachabilityIndex,
+    reach_key: usize,
+    space: &StateSpace,
+    memo: &GeometryMemo,
+    cfg: &UstTreeConfig,
+) -> ObjectRun {
+    let mut run = ObjectRun { diamonds: Vec::new(), segments: 0, peak_frontier: 0 };
+    let mut push = |t_start: Timestamp, from_state: StateId, t_end: Timestamp, to_state: StateId| {
+        run.segments += 1;
+        let geo = memo.geometry(reach, reach_key, space, from_state, to_state, t_end - t_start);
+        if let Some(geo) = geo.as_ref() {
+            run.peak_frontier = run.peak_frontier.max(geo.peak_frontier);
+            run.diamonds.push(Diamond {
+                object: object.id(),
+                t_start,
+                t_end,
+                mbr: geo.mbr,
+                per_time: cfg.per_timestamp_mbrs.then(|| geo.per_time.clone()),
+            });
+        }
+    };
+    if object.num_observations() == 1 {
+        // Degenerate segment: the object exists only at its single
+        // observation instant.
+        let obs = object.observations()[0];
+        push(obs.time, obs.state, obs.time, obs.state);
+    } else {
+        for (from, to) in object.segments() {
+            push(from.time, from.state, to.time, to.state);
+        }
+    }
+    run
 }
 
 #[cfg(test)]
@@ -228,6 +502,51 @@ mod tests {
         // Objects 1-3 have 2 segments each, object 4 has 1.
         assert_eq!(tree.num_diamonds(), 7);
         assert_eq!(tree.num_objects(), 4);
+        let stats = tree.build_stats();
+        assert_eq!(stats.objects, 4);
+        assert_eq!(stats.segments, 7);
+        assert_eq!(stats.diamonds, 7);
+        assert!(stats.build_threads >= 1);
+        assert!(stats.peak_frontier >= 1);
+        assert_eq!(stats.reach_memo_hits + stats.reach_memo_misses, 7);
+    }
+
+    #[test]
+    fn reach_memo_deduplicates_repeated_commutes() {
+        // Three objects commuting identically: 1 miss, 5 hits for the
+        // (1 -> 1, gap 4) commute plus 1 miss for the distinct one.
+        let db = line_db(vec![
+            UncertainObject::from_pairs(1, vec![(0, 1), (4, 1), (8, 1)]).unwrap(),
+            UncertainObject::from_pairs(2, vec![(0, 1), (4, 1), (8, 1)]).unwrap(),
+            UncertainObject::from_pairs(3, vec![(0, 1), (4, 1), (8, 1)]).unwrap(),
+            UncertainObject::from_pairs(4, vec![(0, 2), (4, 3)]).unwrap(),
+        ]);
+        let cfg = UstTreeConfig { build_threads: 1, ..Default::default() };
+        let tree = UstTree::build_with(&db, &cfg);
+        let stats = tree.build_stats();
+        assert_eq!(stats.segments, 7);
+        assert_eq!(stats.reach_memo_misses, 2, "two distinct commutes");
+        assert_eq!(stats.reach_memo_hits, 5);
+        assert!(stats.memo_hit_rate() > 0.7);
+    }
+
+    #[test]
+    fn memo_and_no_memo_builds_are_identical() {
+        let db = example_db();
+        let with_memo =
+            UstTree::build_with(&db, &UstTreeConfig { build_threads: 1, ..Default::default() });
+        let without_memo = UstTree::build_with(
+            &db,
+            &UstTreeConfig { build_threads: 1, reach_memo: false, ..Default::default() },
+        );
+        assert_eq!(without_memo.build_stats().reach_memo_hits, 0);
+        assert_eq!(with_memo.num_diamonds(), without_memo.num_diamonds());
+        for (a, b) in with_memo.diamonds().iter().zip(without_memo.diamonds()) {
+            assert_eq!(a.object, b.object);
+            assert_eq!((a.t_start, a.t_end), (b.t_start, b.t_end));
+            assert_eq!(a.mbr, b.mbr);
+            assert_eq!(a.per_time, b.per_time);
+        }
     }
 
     #[test]
@@ -240,6 +559,17 @@ mod tests {
         let late: Vec<ObjectId> =
             tree.diamonds_overlapping(6, 8).iter().map(|d| d.object).collect();
         assert!(late.contains(&4));
+    }
+
+    #[test]
+    fn visitor_and_vec_overlap_queries_agree() {
+        let db = example_db();
+        let tree = UstTree::build(&db);
+        let collected: Vec<ObjectId> =
+            tree.diamonds_overlapping(2, 7).iter().map(|d| d.object).collect();
+        let mut streamed: Vec<ObjectId> = Vec::new();
+        tree.for_each_overlapping(2, 7, |d| streamed.push(d.object));
+        assert_eq!(collected, streamed, "wrapper and visitor must stream identically");
     }
 
     #[test]
@@ -347,5 +677,25 @@ mod tests {
         assert_eq!(tree.num_diamonds(), 2);
         let result = tree.prune_point(&[5], Point::new(3.0, 0.0));
         assert!(result.is_candidate(1));
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial() {
+        let db = example_db();
+        let serial =
+            UstTree::build_with(&db, &UstTreeConfig { build_threads: 1, ..Default::default() });
+        for threads in [2usize, 4] {
+            let sharded = UstTree::build_with(
+                &db,
+                &UstTreeConfig { build_threads: threads, ..Default::default() },
+            );
+            assert_eq!(serial.num_diamonds(), sharded.num_diamonds());
+            for (a, b) in serial.diamonds().iter().zip(sharded.diamonds()) {
+                assert_eq!(a.object, b.object);
+                assert_eq!((a.t_start, a.t_end), (b.t_start, b.t_end));
+                assert_eq!(a.mbr, b.mbr);
+                assert_eq!(a.per_time, b.per_time);
+            }
+        }
     }
 }

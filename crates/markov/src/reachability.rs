@@ -84,6 +84,14 @@ impl ReachabilityIndex {
     }
 
     /// Per-timestamp possible states between two consecutive observations.
+    ///
+    /// If the second observation is not forward-reachable from the first in
+    /// the given number of steps, the segment is contradictory — no
+    /// trajectory satisfies both observations, so the possible-state set is
+    /// empty at *every* covered timestamp — and the backward BFS is skipped
+    /// entirely. Hop-infeasible commutes are common in map-matched real
+    /// data, so the index build benefits from paying one expansion instead
+    /// of two for them.
     pub fn segment(
         &self,
         from: (Timestamp, StateId),
@@ -92,6 +100,13 @@ impl ReachabilityIndex {
         assert!(from.0 <= to.0, "observations must be ordered in time");
         let steps = (to.0 - from.0) as usize;
         let fwd = self.forward_reachable(from.1, steps);
+        if fwd[steps].binary_search(&to.1).is_err() {
+            return ReachabilitySets {
+                start: from.0,
+                end: to.0,
+                per_time: vec![Vec::new(); steps + 1],
+            };
+        }
         let bwd = self.backward_reachable(to.1, steps);
         let per_time: Vec<Vec<StateId>> = (0..=steps)
             .map(|k| intersect_sorted(&fwd[k], &bwd[steps - k]))
@@ -200,9 +215,14 @@ mod tests {
     #[test]
     fn contradictory_segment_yields_empty_sets() {
         let idx = ReachabilityIndex::from_matrix(&line_graph());
-        // Cannot get from state 0 to state 3 in a single step.
+        // Cannot get from state 0 to state 3 in a single step. No trajectory
+        // satisfies both observations, so every covered timestamp is empty
+        // (the early exit that skips the backward BFS).
         let seg = idx.segment((0, 0), (1, 3));
         assert!(!seg.is_consistent());
+        assert_eq!(seg.cardinality(), 0, "impossible segments have no possible states at all");
+        assert_eq!(seg.at(0), &[] as &[StateId]);
+        assert_eq!(seg.at(1), &[] as &[StateId]);
     }
 
     #[test]

@@ -98,4 +98,27 @@ fn main() {
         forall.stats.sampling_time.as_secs_f64() * 1e3,
         forall.stats.worlds
     );
+
+    // 4. The UST-tree build is observable and shareable: further engines
+    //    (e.g. one per serving thread) reuse the same build through an `Arc`
+    //    instead of re-indexing or cloning the tree.
+    let build = engine.index_build_stats().expect("filter step enabled");
+    println!(
+        "\nUST-tree build: {} diamonds over {} segments in {:.1} ms \
+         ({} build threads, {:.0}% reach-memo hits, peak frontier {})",
+        build.diamonds,
+        build.segments,
+        build.build_time.as_secs_f64() * 1e3,
+        build.build_threads,
+        build.memo_hit_rate() * 100.0,
+        build.peak_frontier
+    );
+    let second = QueryEngine::with_index(
+        &dataset.database,
+        engine.shared_index().expect("filter step enabled"),
+        EngineConfig { num_samples: 2_000, ..Default::default() },
+    );
+    let again = second.pforall_nn(&query, 0.05).expect("query succeeds");
+    assert_eq!(again.results.len(), forall.results.len(), "shared index, same answers");
+    println!("a second engine over the shared index returns the same {} result(s)", again.results.len());
 }

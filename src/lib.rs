@@ -43,7 +43,7 @@ pub mod prelude {
         ObjectWorkloadConfig, QueryWorkload, QueryWorkloadConfig, RawFix, RoadNetworkConfig,
         SyntheticNetworkConfig, TaxiWorkloadConfig,
     };
-    pub use ust_index::UstTree;
+    pub use ust_index::{IndexBuildStats, UstTree, UstTreeConfig};
     pub use ust_markov::{AdaptedModel, CsrMatrix, MarkovModel, ModelAdaptation, Timestamp};
     pub use ust_sampling::{PosteriorSampler, WorldSampler};
     pub use ust_spatial::{Point, Rect2, Rect3, StateId, StateSpace};

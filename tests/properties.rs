@@ -173,6 +173,50 @@ proptest! {
         prop_assert_eq!(&got, &expected);
     }
 
+    /// STR bulk loading keeps the structural invariants (node fill, MBR
+    /// consistency, uniform leaf depth) exactly at and around the node
+    /// capacity boundaries — item counts of `capacity^level ± delta`, where
+    /// slicing off one item flips the number of tiles/levels. These shapes
+    /// back the paper-scale UST-tree build, which STR-loads hundreds of
+    /// thousands of diamonds in one call.
+    #[test]
+    fn bulk_load_keeps_invariants_at_capacity_boundaries(
+        capacity in 4usize..=9,
+        level in 1u32..=2,
+        delta in -2isize..=2,
+        seed in 0u64..1000,
+    ) {
+        let base = capacity.pow(level) as isize;
+        let n = (base + delta).max(1) as usize;
+        // Deterministic xorshift layout seeded by the proptest case, so
+        // shrinking stays reproducible.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xDEAD_BEEF);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let rects: Vec<(Rect2, usize)> = (0..n)
+            .map(|i| {
+                let (x, y) = (next() * 100.0, next() * 100.0);
+                (Rect2::new([x, y], [x + 0.5, y + 0.5]), i)
+            })
+            .collect();
+        let tree = RTree::bulk_load_with_capacity(rects, capacity);
+        prop_assert_eq!(tree.len(), n);
+        if let Err(violation) = tree.check_invariants() {
+            return Err(TestCaseError::fail(format!(
+                "capacity {capacity}, n {n}: {violation}"
+            )));
+        }
+        // Every stored item is reachable through the directory.
+        let bounds = tree.bounds().expect("non-empty tree has bounds");
+        let mut all: Vec<usize> = tree.query_intersecting(&bounds).into_iter().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
     // -----------------------------------------------------------------
     // TimeMask
     // -----------------------------------------------------------------
