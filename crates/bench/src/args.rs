@@ -40,6 +40,13 @@ pub struct RunSettings {
     /// `--csv`). With `--csv`, requesting more objects than the file yields
     /// is a typed `UnknownObject` error.
     pub objects: Option<usize>,
+    /// Base path for on-disk engine stores (fig06/fig08 only). Each sweep
+    /// point saves its engine state to a derived path, immediately
+    /// cold-starts a second engine from that store and cross-checks the
+    /// result digests; the load wall time lands in the report meta. Binaries
+    /// without store support reject it via
+    /// [`RunSettings::reject_store_flag`].
+    pub store_path: Option<String>,
 }
 
 impl Default for RunSettings {
@@ -52,6 +59,7 @@ impl Default for RunSettings {
             build_threads: None,
             csv_path: None,
             objects: None,
+            store_path: None,
         }
     }
 }
@@ -72,6 +80,19 @@ impl RunSettings {
             usage_and_exit(&format!(
                 "{binary} does not support --csv/--objects; only \
                  fig09_realdata_vary_objects ingests real data"
+            ));
+        }
+    }
+
+    /// Aborts with a usage error if `--store` was given to a binary that
+    /// does not save/load engine stores — only fig06 and fig08 exercise the
+    /// persistence round trip, and silently ignoring the flag would let the
+    /// user believe a store was written.
+    pub fn reject_store_flag(&self, binary: &str) {
+        if self.store_path.is_some() {
+            usage_and_exit(&format!(
+                "{binary} does not support --store; only fig06_vary_states and \
+                 fig08_vary_objects exercise the on-disk store round trip"
             ));
         }
     }
@@ -120,6 +141,12 @@ impl RunSettings {
                     Some(objects) => settings.objects = Some(objects),
                     None => usage_and_exit("--objects requires an integer argument"),
                 },
+                "--store" => {
+                    settings.store_path = iter.next();
+                    if settings.store_path.is_none() {
+                        usage_and_exit("--store requires a path argument");
+                    }
+                }
                 // `cargo bench` appends `--bench` to every harness = false
                 // bench target (the `index_build` report bench parses these
                 // settings); accept and ignore it.
@@ -139,7 +166,7 @@ fn usage_and_exit(message: &str) -> ! {
     eprintln!(
         "usage: <figure binary> [--quick | --paper-scale | --scale <quick|default|paper>] \
          [--seed N] [--threads N] [--build-threads N] [--json <path>] [--csv <path>] \
-         [--objects N]"
+         [--objects N] [--store <path>]"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
@@ -200,6 +227,13 @@ mod tests {
         let s = parse(&[]);
         assert_eq!(s.csv_path, None);
         assert_eq!(s.objects, None);
+    }
+
+    #[test]
+    fn store_flag() {
+        let s = parse(&["--store", "/tmp/fig08.ustore"]);
+        assert_eq!(s.store_path.as_deref(), Some("/tmp/fig08.ustore"));
+        assert_eq!(parse(&[]).store_path, None);
     }
 
     #[test]

@@ -7,9 +7,15 @@
 //! P∀NNQ sampling (FA) and of the P∃NNQ sampling (EX), plus the candidate and
 //! influence set sizes |C(q)| and |I(q)| and the per-query cold adaptation
 //! count. The `TS1/TSp` ratio is the measured TS-phase speedup.
+//!
+//! `--store <base>` additionally exercises the on-disk store round trip at
+//! every sweep point: the engine state is saved to `<base>-n<N>.ustore`, a
+//! second engine is cold-started from the file and its result digest must
+//! match the fresh engine's; store size and load time land in the meta.
 
 use ust_bench::datasets::{build_queries, build_synthetic, ScaleParams};
 use ust_bench::efficiency::{measure_efficiency_on, measure_ts_phase};
+use ust_bench::storecheck::store_roundtrip_check;
 use ust_bench::{ExperimentReport, Row, RunScale, RunSettings};
 use ust_core::prepare::resolve_adaptation_threads;
 use ust_core::{EngineConfig, QueryEngine};
@@ -55,6 +61,18 @@ fn main() {
         report.set_meta(format!("reach_memo_hits_n{n}"), build.reach_memo_hits as f64);
         let ts_serial = measure_ts_phase(&engine, &queries, 1);
         let m = measure_efficiency_on(&engine, &queries);
+        if let Some(base) = &settings.store_path {
+            store_roundtrip_check(
+                "fig06_vary_states",
+                &mut report,
+                base,
+                &format!("n{n}"),
+                &engine,
+                config,
+                &queries,
+                &m,
+            );
+        }
         let speedup = if m.ts_seconds > 0.0 { ts_serial / m.ts_seconds } else { 1.0 };
         report.push(
             Row::new(format!("|S|={n}"))

@@ -7,9 +7,15 @@
 //! result sets — CI runs this figure at `--build-threads 1` and
 //! `--build-threads 2` and diffs the digests, witnessing that the sharded
 //! index build changes no answer.
+//!
+//! `--store <base>` additionally exercises the on-disk store round trip at
+//! every sweep point: the engine state is saved to `<base>-d<D>.ustore`, a
+//! second engine is cold-started from the file and its result digest must
+//! match the fresh engine's; store size and load time land in the meta.
 
 use ust_bench::datasets::{build_queries, build_synthetic, ScaleParams};
 use ust_bench::efficiency::measure_efficiency_on;
+use ust_bench::storecheck::store_roundtrip_check;
 use ust_bench::{ExperimentReport, Row, RunScale, RunSettings};
 use ust_core::prepare::resolve_adaptation_threads;
 use ust_core::{EngineConfig, QueryEngine};
@@ -53,6 +59,18 @@ fn main() {
         let engine = QueryEngine::new(&dataset.database, config);
         let build = *engine.index_build_stats().expect("filter step enabled");
         let m = measure_efficiency_on(&engine, &queries);
+        if let Some(base) = &settings.store_path {
+            store_roundtrip_check(
+                "fig08_vary_objects",
+                &mut report,
+                base,
+                &format!("d{d}"),
+                &engine,
+                config,
+                &queries,
+                &m,
+            );
+        }
         report.set_meta(format!("index_build_seconds_d{d}"), build.build_time.as_secs_f64());
         report.set_meta(format!("index_diamonds_d{d}"), build.diamonds as f64);
         report.set_meta(format!("reach_memo_hits_d{d}"), build.reach_memo_hits as f64);

@@ -21,13 +21,17 @@
 
 use ust_bench::datasets::{build_queries, build_taxi, ScaleParams};
 use ust_bench::efficiency::measure_efficiency;
+use ust_bench::errors::{exit_failure, report_skipped_rows};
 use ust_bench::ingest::{ingest_taxi_path, take_objects, IngestedTaxi};
 use ust_bench::{ExperimentReport, Row, RunScale, RunSettings};
 use ust_core::prepare::resolve_adaptation_threads;
 use ust_generator::Dataset;
 
+const BINARY: &str = "fig09_realdata_vary_objects";
+
 fn main() {
     let settings = RunSettings::from_env();
+    settings.reject_store_flag(BINARY);
     let params = ScaleParams::for_scale(settings.scale);
     // The paper's TS series is a *serial* adaptation time, so this figure
     // defaults to one TS worker for comparability across machines; parallel
@@ -88,16 +92,16 @@ fn run_ingested(
 ) -> ExperimentReport {
     let ingested: IngestedTaxi = match ingest_taxi_path(params, path, settings.seed) {
         Ok(i) => i,
-        Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            std::process::exit(2);
-        }
+        Err(e) => exit_failure(BINARY, &format!("cannot read {path}"), &e),
     };
-    report_load_errors(&ingested);
+    report_skipped_rows(BINARY, &ingested.load_errors);
     let summary = ingested.dataset.database.summary();
     if summary.objects == 0 {
-        eprintln!("error: no object of {path} survived parsing and map matching");
-        std::process::exit(2);
+        exit_failure(
+            BINARY,
+            &format!("ingesting {path}"),
+            &"no object survived parsing and map matching",
+        );
     }
     eprintln!(
         "[fig09] ingested {} objects / {} observations from {path} ({} fixes dropped)",
@@ -138,13 +142,14 @@ fn run_ingested(
         eprintln!("[fig09] |D| = {d}");
         let database = match take_objects(&ingested.dataset.database, d) {
             Ok(db) => db,
-            Err(e) => {
-                eprintln!(
-                    "error: {e} — {d} objects requested but only {} were ingested",
+            Err(e) => exit_failure(
+                BINARY,
+                &format!(
+                    "{d} objects requested but only {} were ingested",
                     summary.objects
-                );
-                std::process::exit(2);
-            }
+                ),
+                &e,
+            ),
         };
         let dataset = Dataset {
             network: ingested.dataset.network.clone(),
@@ -166,18 +171,4 @@ fn run_ingested(
         );
     }
     report
-}
-
-/// Prints the typed load errors (first few verbatim, then a count).
-fn report_load_errors(ingested: &IngestedTaxi) {
-    const SHOWN: usize = 5;
-    for e in ingested.load_errors.iter().take(SHOWN) {
-        eprintln!("[fig09] skipped malformed row — {e}");
-    }
-    if ingested.load_errors.len() > SHOWN {
-        eprintln!(
-            "[fig09] ... and {} further malformed rows",
-            ingested.load_errors.len() - SHOWN
-        );
-    }
 }

@@ -1,0 +1,32 @@
+//! Uniform rendering of fatal and per-row errors across the figure binaries.
+//!
+//! Historically each binary formatted its own failures ad hoc. The `--store`
+//! flag added a second error family (`ust_persist::StoreError`) next to the
+//! loader's `ust_generator::LoadError`, so the rendering now lives in one
+//! place: both families (and plain I/O errors) funnel through
+//! [`exit_failure`], and the per-row skip report of the real-data binaries
+//! through [`report_skipped_rows`].
+
+use ust_generator::LoadError;
+
+/// Renders a fatal error uniformly — `error: [<binary>] <what>: <error>` —
+/// and exits with status 2, the failure convention of the harness. Works for
+/// every error family a figure binary meets (`LoadError`, `StoreError`,
+/// `QueryError`, `std::io::Error`): anything `Display`.
+pub fn exit_failure(binary: &str, what: &str, error: &dyn std::fmt::Display) -> ! {
+    eprintln!("error: [{binary}] {what}: {error}");
+    std::process::exit(2);
+}
+
+/// Prints the typed, line-numbered load errors of an ingestion: the first few
+/// verbatim, then a count — enough to diagnose a malformed file without
+/// flooding the terminal on a million-row CSV.
+pub fn report_skipped_rows(binary: &str, errors: &[LoadError]) {
+    const SHOWN: usize = 5;
+    for e in errors.iter().take(SHOWN) {
+        eprintln!("[{binary}] skipped malformed row — {e}");
+    }
+    if errors.len() > SHOWN {
+        eprintln!("[{binary}] ... and {} further malformed rows", errors.len() - SHOWN);
+    }
+}

@@ -26,10 +26,12 @@ pub mod continuous;
 pub mod datasets;
 pub mod effectiveness;
 pub mod efficiency;
+pub mod errors;
 pub mod ingest;
 pub mod json;
 pub mod report;
 pub mod sampling_efficiency;
+pub mod storecheck;
 
 pub use args::{RunScale, RunSettings};
 pub use report::{ExperimentReport, Row};

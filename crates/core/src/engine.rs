@@ -189,6 +189,37 @@ impl<'a> QueryEngine<'a> {
         self.index.as_deref().map(UstTree::build_stats)
     }
 
+    /// Persists this engine's state — the database, the UST-tree (if built)
+    /// and every adapted model currently cached — as an on-disk store (see
+    /// [`ust_persist`]). A later [`EngineStore::load`](crate::EngineStore)
+    /// skips the index build and the TS phase for the stored objects
+    /// entirely.
+    pub fn save_store(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<ust_persist::StoreStats, ust_persist::StoreError> {
+        let models = self.cache.snapshot_models();
+        ust_persist::write_store(
+            path,
+            &ust_persist::StoreContents {
+                database: self.db,
+                index: self.index.as_deref(),
+                models: &models,
+            },
+        )
+    }
+
+    /// Seeds the adaptation cache with already-adapted models (typically the
+    /// MODELS section of a loaded store). Preloaded objects are warm on
+    /// first touch; cache statistics are not affected (see
+    /// [`AdaptationCache::preload`]).
+    pub fn preload_models(
+        &self,
+        models: impl IntoIterator<Item = (ObjectId, Arc<AdaptedModel>)>,
+    ) {
+        self.cache.preload(models);
+    }
+
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config

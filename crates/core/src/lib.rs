@@ -50,9 +50,11 @@ pub mod query;
 pub mod results;
 pub mod sat;
 pub mod snapshot;
+pub mod store;
 
 pub use engine::{EngineConfig, QueryEngine};
 pub use prepare::{AdaptationCache, CacheStats, PrepareOutcome};
+pub use store::EngineStore;
 pub use exact::{ExactError, ExactResult};
 pub use pcnn::{PcnnConfig, PcnnResult, WorldSet};
 pub use query::{Query, QueryError};

@@ -207,6 +207,41 @@ impl AdaptationCache {
         out
     }
 
+    /// All successfully adapted models currently cached, sorted by object id.
+    /// This is the persistence hand-off: the pairs go straight into the
+    /// MODELS section of an on-disk store, and the sort makes the listing
+    /// deterministic across the sharded hash maps.
+    pub fn snapshot_models(&self) -> Vec<(ObjectId, std::sync::Arc<AdaptedModel>)> {
+        let mut out: Vec<(ObjectId, std::sync::Arc<AdaptedModel>)> = Vec::new();
+        for shard in &self.shards {
+            for (&id, slot) in shard.lock().iter() {
+                if let Slot::Ready(model) = slot {
+                    out.push((id, model.clone()));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(id, _)| id);
+        out
+    }
+
+    /// Seeds the cache with already-adapted models (the load half of the
+    /// persistence hand-off). Preloaded slots behave exactly like slots this
+    /// cache adapted itself — later lookups are warm hits — but preloading
+    /// bumps neither the hit nor the cold-adaptation counters: the stats keep
+    /// describing work done *through* this cache. An id that is already
+    /// resident (any slot state) is left untouched; the exactly-once claim
+    /// discipline owns it.
+    pub fn preload(
+        &self,
+        models: impl IntoIterator<Item = (ObjectId, std::sync::Arc<AdaptedModel>)>,
+    ) {
+        for (id, model) in models {
+            let shard = self.shard_for(id);
+            let mut slots = shard.lock();
+            slots.entry(id).or_insert(Slot::Ready(model));
+        }
+    }
+
     /// Number of successfully adapted models currently cached.
     pub fn len(&self) -> usize {
         self.shards

@@ -17,6 +17,11 @@
 //! independent, so the snapshot probability factorises over objects), which
 //! isolates the bias caused by the independence assumption rather than adding
 //! sampling noise.
+//!
+//! Naming note: this "snapshot" is the *query semantics* baseline of the
+//! paper's effectiveness comparison and has nothing to do with persistence.
+//! The durable on-disk image of an engine — database, UST-tree, adapted
+//! models — is the *store* ([`crate::store::EngineStore`], `ust_persist`).
 
 use crate::query::Query;
 use crate::results::ObjectProbability;

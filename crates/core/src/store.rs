@@ -1,0 +1,90 @@
+//! Cold-starting a query engine from an on-disk store.
+//!
+//! [`QueryEngine`] borrows its database, so something has
+//! to *own* the state a store file yields. That is [`EngineStore`]: it holds
+//! the decoded database, the UST-tree behind an [`Arc`], and the adapted
+//! models, and mints borrowing engines on demand. Every engine minted from
+//! one store shares the same tree allocation (no per-engine rebuild or
+//! clone), and its adaptation cache starts pre-warmed with the stored
+//! models — the two expensive start-up phases the store exists to skip.
+//!
+//! ```no_run
+//! use ust_core::{EngineConfig, EngineStore};
+//!
+//! let store = EngineStore::load("fig06.ustore")?;
+//! let engine = store.engine(EngineConfig::default());
+//! # Ok::<(), ust_persist::StoreError>(())
+//! ```
+
+use crate::engine::{AdaptedModels, EngineConfig, QueryEngine};
+use std::path::Path;
+use std::sync::Arc;
+use ust_index::UstTree;
+use ust_persist::{LoadedStore, StoreError, StoreStats};
+use ust_trajectory::TrajectoryDatabase;
+
+/// An owning, ready-to-query view of a decoded store: the counterpart of
+/// [`QueryEngine::save_store`](crate::QueryEngine::save_store).
+#[derive(Debug)]
+pub struct EngineStore {
+    database: TrajectoryDatabase,
+    index: Option<Arc<UstTree>>,
+    models: AdaptedModels,
+    stats: StoreStats,
+}
+
+impl EngineStore {
+    /// Reads, decodes and validates a store file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Ok(Self::from_loaded(ust_persist::read_store(path)?))
+    }
+
+    /// Decodes and validates a store from raw bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        Ok(Self::from_loaded(ust_persist::decode_store(bytes)?))
+    }
+
+    fn from_loaded(loaded: LoadedStore) -> Self {
+        EngineStore {
+            database: loaded.database,
+            index: loaded.index.map(Arc::new),
+            models: loaded.models,
+            stats: loaded.stats,
+        }
+    }
+
+    /// The decoded trajectory database.
+    pub fn database(&self) -> &TrajectoryDatabase {
+        &self.database
+    }
+
+    /// The decoded UST-tree, if the store carried one. The `Arc` is the same
+    /// allocation every minted engine shares.
+    pub fn index(&self) -> Option<&Arc<UstTree>> {
+        self.index.as_ref()
+    }
+
+    /// The decoded adapted models, sorted by object id.
+    pub fn models(&self) -> &AdaptedModels {
+        &self.models
+    }
+
+    /// Size, shape and load timing of the store this was decoded from.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Mints a query engine over the stored state. If the store carries a
+    /// UST-tree and `config.use_index` is set, the engine shares it (no
+    /// rebuild); a tree-less store with `use_index` set falls back to
+    /// building one, exactly like [`QueryEngine::new`]. The engine's
+    /// adaptation cache starts pre-warmed with the stored models.
+    pub fn engine(&self, config: EngineConfig) -> QueryEngine<'_> {
+        let engine = match (&self.index, config.use_index) {
+            (Some(tree), true) => QueryEngine::with_index(&self.database, tree.clone(), config),
+            _ => QueryEngine::new(&self.database, config),
+        };
+        engine.preload_models(self.models.iter().cloned());
+        engine
+    }
+}

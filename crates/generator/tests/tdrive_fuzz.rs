@@ -1,0 +1,104 @@
+//! Bounded deterministic fuzz smoke over the T-Drive loader.
+//!
+//! The same seeded byte [`Mutator`] that hardens the on-disk store reader
+//! (`ust_persist::fuzz`) is pointed at [`FixStream`]: thousands of corrupted
+//! variants of a valid T-Drive CSV — bit flips, truncations, splices,
+//! invalid UTF-8 — must each produce a clean [`LoadOutcome`] whose malformed
+//! lines land as typed [`LoadError`]s. The loader must never panic, and the
+//! line accounting must stay coherent (every fix and every error belongs to
+//! a consumed line).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ust_generator::map_match::GeoFrame;
+use ust_generator::tdrive::{self, FixStream, LoadOutcome};
+use ust_generator::{ObjectId, RoadNetworkConfig, StateId, Timestamp};
+use ust_persist::Mutator;
+use ust_trajectory::UncertainObject;
+
+/// Mutants thrown at the loader.
+const MUTANTS: usize = 10_000;
+
+/// A valid multi-object T-Drive document: random walks on a clean grid,
+/// rendered by the workspace's own fixture writer.
+fn base_corpus() -> Vec<u8> {
+    let network = RoadNetworkConfig {
+        grid_width: 6,
+        grid_height: 6,
+        jitter: 0.0,
+        removal_fraction: 0.0,
+        seed: 0,
+    }
+    .generate();
+    let frame = GeoFrame::beijing();
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut csv = String::new();
+    for id in 1..=4u64 {
+        let mut state = rng.gen_range(0..network.num_states() as StateId);
+        let mut obs: Vec<(Timestamp, StateId)> = vec![(0, state)];
+        for k in 1..8u32 {
+            let neighbors = network.neighbors(state);
+            let choice = rng.gen_range(0..=neighbors.len());
+            if choice < neighbors.len() {
+                state = neighbors[choice].0;
+            }
+            obs.push((k, state));
+        }
+        let object = UncertainObject::from_pairs(id as ObjectId, obs).expect("sorted tics");
+        csv.push_str(&tdrive::render_workload(
+            network.space(),
+            std::slice::from_ref(&object),
+            &frame,
+            10,
+            1_201_900_000,
+        ));
+    }
+    csv.into_bytes()
+}
+
+#[test]
+fn loader_survives_raw_byte_fuzz() {
+    let base = base_corpus();
+    let mut mutator = Mutator::new(0x7D21_7E57);
+    let mut panics = 0usize;
+    let mut errored_runs = 0usize;
+    for _ in 0..MUTANTS {
+        let mutant = mutator.mutate(&base);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let out = LoadOutcome::collect(FixStream::new(&mutant[..]));
+            // Coherence: every fix and every error came from a real line.
+            assert!(out.fixes.len() + out.errors.len() <= out.lines);
+            for e in &out.errors {
+                assert!(e.line >= 1 && e.line <= out.lines);
+            }
+            out.errors.len()
+        }));
+        match outcome {
+            Ok(n) if n > 0 => errored_runs += 1,
+            Ok(_) => {}
+            Err(_) => panics += 1,
+        }
+    }
+    assert_eq!(panics, 0, "the T-Drive loader panicked on {panics} of {MUTANTS} mutants");
+    // The mutator corrupts aggressively; a loader that never reports a typed
+    // error would mean the error path rotted away.
+    assert!(errored_runs > MUTANTS / 10, "only {errored_runs} mutants produced load errors");
+}
+
+#[test]
+fn loader_is_deterministic_over_the_fuzz_corpus() {
+    let base = base_corpus();
+    let mut a = Mutator::new(42);
+    let mut b = Mutator::new(42);
+    for _ in 0..200 {
+        let (ma, mb) = (a.mutate(&base), b.mutate(&base));
+        assert_eq!(ma, mb, "the mutator must be deterministic per seed");
+        let out_a = LoadOutcome::collect(FixStream::new(&ma[..]));
+        let out_b = LoadOutcome::collect(FixStream::new(&mb[..]));
+        assert_eq!(out_a.fixes, out_b.fixes);
+        assert_eq!(out_a.errors.len(), out_b.errors.len());
+        assert_eq!(out_a.lines, out_b.lines);
+    }
+}

@@ -298,6 +298,37 @@ impl UstTree {
         UstTree { diamonds, rtree, num_objects: db.len(), build_stats: stats }
     }
 
+    /// Reassembles a tree from a stored diamond arena without re-running the
+    /// Markov-chain build. The R\*-tree is *not* part of the stored form: STR
+    /// bulk loading is deterministic, so rebuilding it here from the same
+    /// diamonds with the same node capacity reproduces the original tree
+    /// shape exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rtree_capacity < 4` or if a diamond's space-time box is
+    /// degenerate (inverted or non-finite bounds). Callers decoding untrusted
+    /// bytes must validate first — the `ust-persist` decoder does.
+    pub fn from_parts(
+        diamonds: Vec<Diamond>,
+        num_objects: usize,
+        rtree_capacity: usize,
+        build_stats: IndexBuildStats,
+    ) -> Self {
+        let items: Vec<(Rect3, usize)> = diamonds
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.space_time_box(), i))
+            .collect();
+        let rtree = RTree::bulk_load_with_capacity(items, rtree_capacity);
+        UstTree { diamonds, rtree, num_objects, build_stats }
+    }
+
+    /// Node capacity of the underlying R\*-tree (the bulk-load fan-out).
+    pub fn rtree_capacity(&self) -> usize {
+        self.rtree.max_entries()
+    }
+
     /// Number of indexed diamonds (one per observation segment).
     pub fn num_diamonds(&self) -> usize {
         self.diamonds.len()

@@ -99,6 +99,16 @@ impl TransitionTable {
         TransitionTable { rows: out }
     }
 
+    /// Reassembles a table from already-normalized per-row distributions,
+    /// without renormalizing them. This is the store-loading counterpart of
+    /// the private normalizing construction used during adaptation: the rows
+    /// were normalized once when the model was built, and renormalizing on
+    /// load would perturb their bit patterns. Duplicate source states keep
+    /// the last distribution.
+    pub fn from_rows(rows: impl IntoIterator<Item = (StateId, SparseDist)>) -> Self {
+        TransitionTable { rows: rows.into_iter().collect() }
+    }
+
     /// The outgoing distribution of `state`, if `state` is reachable at this
     /// time slice.
     pub fn row(&self, state: StateId) -> Option<&SparseDist> {
@@ -291,6 +301,38 @@ impl AdaptedModel {
         observations: &[(Timestamp, StateId)],
     ) -> Result<Self, AdaptError> {
         ModelAdaptation::new().adapt(model, observations)
+    }
+
+    /// Reassembles a model from its stored parts (the store-loading
+    /// counterpart of [`AdaptedModel::build`]). The covered interval is
+    /// derived from the first and last observation; `forward` and `posterior`
+    /// must hold one marginal per covered timestamp and `transitions` one
+    /// table per covered step. No probabilistic post-processing happens here
+    /// — the parts are adopted bit-for-bit.
+    pub fn from_parts(
+        observations: Vec<(Timestamp, StateId)>,
+        forward: Vec<SparseDist>,
+        posterior: Vec<SparseDist>,
+        transitions: Vec<TransitionTable>,
+    ) -> Result<Self, &'static str> {
+        let Some(&(start, _)) = observations.first() else {
+            return Err("adapted model needs at least one observation");
+        };
+        let (end, _) = observations[observations.len() - 1];
+        if observations.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err("observation times must be strictly increasing");
+        }
+        let horizon = (end - start) as usize;
+        if forward.len() != horizon + 1 {
+            return Err("forward marginal count must equal horizon + 1");
+        }
+        if posterior.len() != horizon + 1 {
+            return Err("posterior marginal count must equal horizon + 1");
+        }
+        if transitions.len() != horizon {
+            return Err("transition-table count must equal the horizon");
+        }
+        Ok(AdaptedModel { start, end, forward, posterior, transitions, observations })
     }
 
     /// First observed timestamp.

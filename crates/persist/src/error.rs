@@ -1,0 +1,124 @@
+//! Typed errors of the store decoder.
+//!
+//! Every way a store can be rejected has its own variant, so tests can pin
+//! the exact failure of each hostile fixture and callers can render precise
+//! diagnostics. The decoder guarantees that hostile bytes produce one of
+//! these — never a panic, and never an allocation proportional to a length
+//! field that the input cannot back.
+
+/// Why a byte stream was rejected by the store decoder (or why a store file
+/// could not be written/read).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The file could not be read or written. The message is the rendered
+    /// [`std::io::Error`] (which itself is neither `Clone` nor `PartialEq`).
+    Io {
+        /// Rendered operating-system error.
+        message: String,
+    },
+    /// The first eight bytes are not the store magic [`crate::format::MAGIC`].
+    BadMagic,
+    /// The format version is newer than this decoder understands. Stores are
+    /// never decoded "best effort" across versions.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The input ended before the announced structure was complete.
+    Truncated {
+        /// Which structure the decoder was reading when the bytes ran out.
+        context: &'static str,
+    },
+    /// A section's FNV-1a content checksum does not match its payload.
+    ChecksumMismatch {
+        /// Section id (see `crate::format::section` for the known ids).
+        section: u32,
+    },
+    /// A section announced a payload length larger than the remaining input.
+    SectionOverflow {
+        /// Section id as found in the frame.
+        section: u32,
+        /// The announced payload length.
+        length: u64,
+    },
+    /// An element count would require more bytes than the remaining input —
+    /// rejected *before* any allocation is sized from it.
+    CountOverflow {
+        /// Which counted structure announced the impossible count.
+        context: &'static str,
+        /// The announced element count.
+        count: u64,
+    },
+    /// A value violates a structural invariant (unsorted entries, state id
+    /// out of range, non-finite rectangle, mismatched lengths, ...).
+    Malformed {
+        /// Which invariant was violated.
+        context: &'static str,
+    },
+    /// The same section id appears twice.
+    DuplicateSection {
+        /// The repeated section id.
+        section: u32,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// The absent section id.
+        section: u32,
+    },
+    /// A section id this decoder does not know. Unknown sections are an
+    /// error, not skipped: within one format version the section set is
+    /// closed, so an unknown id means corruption.
+    UnknownSection {
+        /// The unknown section id.
+        section: u32,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { message } => write!(f, "store I/O failed: {message}"),
+            StoreError::BadMagic => write!(f, "not a pnnq store (bad magic bytes)"),
+            StoreError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported store format version {found} (this build reads version {})",
+                    crate::format::FORMAT_VERSION
+                )
+            }
+            StoreError::Truncated { context } => {
+                write!(f, "store truncated while reading {context}")
+            }
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section} (corrupted payload)")
+            }
+            StoreError::SectionOverflow { section, length } => {
+                write!(
+                    f,
+                    "section {section} announces {length} payload bytes beyond the end of the store"
+                )
+            }
+            StoreError::CountOverflow { context, count } => {
+                write!(f, "{context} announces {count} elements beyond the end of the store")
+            }
+            StoreError::Malformed { context } => write!(f, "malformed store: {context}"),
+            StoreError::DuplicateSection { section } => {
+                write!(f, "section {section} appears twice")
+            }
+            StoreError::MissingSection { section } => {
+                write!(f, "required section {section} is missing")
+            }
+            StoreError::UnknownSection { section } => {
+                write!(f, "unknown section id {section}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io { message: e.to_string() }
+    }
+}

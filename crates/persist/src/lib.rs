@@ -1,0 +1,53 @@
+//! Durable on-disk stores for the pnnq workspace.
+//!
+//! A *store* is a single file holding the expensive-to-build state of a query
+//! session: the [`TrajectoryDatabase`](ust_trajectory::TrajectoryDatabase)
+//! (required), the built [`UstTree`](ust_index::UstTree) and the adapted
+//! (a-posteriori) Markov models (both optional). Loading a store skips the
+//! model-adaptation and index-build phases entirely — a cold start becomes a
+//! read-and-go.
+//!
+//! # Format
+//!
+//! The container (see [`mod@format`]) is versioned and checksummed:
+//!
+//! ```text
+//! "USTSTORE" version(u32) section_count(u32)
+//!   { id(u32) payload_len(u64) fnv1a64(u64) payload }*
+//! ```
+//!
+//! All integers are little-endian; floats travel as IEEE-754 bit patterns, so
+//! encode→decode→encode is byte-identical. Hash-map-backed structures are
+//! written in sorted key order for the same reason. The R\*-tree is *not*
+//! serialized: STR bulk loading is deterministic, so the tree section stores
+//! only the diamond arena plus the node capacity and rebuilds the rest.
+//!
+//! # Hostile input
+//!
+//! [`decode_store`] treats its input as untrusted: every length and count is
+//! proved against the remaining bytes before it sizes an allocation, every
+//! structural invariant the in-memory types rely on is validated before
+//! their constructors run, and every rejection is a typed [`StoreError`] —
+//! never a panic. The [`fuzz`] module ships the deterministic mutator the
+//! fuzz-smoke tests drive against this promise.
+//!
+//! # Not a competitor snapshot
+//!
+//! `ust_core::snapshot` serializes *query results* for golden tests; this
+//! crate serializes the *engine state itself*. The two formats share nothing
+//! but the FNV digest primitive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+pub mod error;
+pub mod format;
+pub mod fuzz;
+pub mod store;
+
+pub use error::StoreError;
+pub use fuzz::Mutator;
+pub use store::{
+    decode_store, encode_store, read_store, write_store, LoadedStore, StoreContents, StoreStats,
+};

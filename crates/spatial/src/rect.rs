@@ -17,8 +17,10 @@ use crate::point::Point;
 
 /// An axis-aligned box in `D` dimensions, stored as per-axis `[min, max]`.
 ///
-/// (Rectangles are derived data and are never part of a persisted dataset,
-/// so they have no serialisation support.)
+/// (Rectangles carry no serialisation support of their own; the on-disk
+/// store (`ust-persist`) encodes the diamond rectangles it needs as plain
+/// min/max coordinate pairs and re-validates `min <= max` and finiteness on
+/// load, so this type never has to trust external bytes.)
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect<const D: usize> {
     /// Per-axis lower bounds.

@@ -97,6 +97,16 @@ impl TrajectoryDatabase {
         self.object_models.insert(id, model);
     }
 
+    /// All per-object model overrides, sorted by object id. The sort makes the
+    /// listing deterministic (the overrides live in a hash map), which the
+    /// on-disk store relies on for canonical, byte-reproducible encodes.
+    pub fn model_overrides(&self) -> Vec<(ObjectId, &Arc<MarkovModel>)> {
+        let mut out: Vec<(ObjectId, &Arc<MarkovModel>)> =
+            self.object_models.iter().map(|(&id, m)| (id, m)).collect();
+        out.sort_unstable_by_key(|&(id, _)| id);
+        out
+    }
+
     /// Number of objects `|D|`.
     #[inline]
     pub fn len(&self) -> usize {

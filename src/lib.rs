@@ -13,8 +13,10 @@
 //!   database and certain-world NN primitives,
 //! * [`sampling`] — rejection and a-posteriori trajectory samplers,
 //! * [`index`] — the UST-tree with `dmin`/`dmax` pruning,
+//! * [`persist`] — versioned, checksummed on-disk stores for the database,
+//!   the UST-tree and adapted models, behind a fuzz-hardened decoder,
 //! * [`core`] — the P∃NN / P∀NN / PCNN / kNN query semantics (sampling-based,
-//!   exact and snapshot evaluation),
+//!   exact and snapshot evaluation) plus cold-starting engines from a store,
 //! * [`generator`] — synthetic and simulated-taxi workload generators, the
 //!   T-Drive-format loader and the map-matching real-data ingestion pipeline.
 //!
@@ -27,6 +29,7 @@ pub use ust_core as core;
 pub use ust_generator as generator;
 pub use ust_index as index;
 pub use ust_markov as markov;
+pub use ust_persist as persist;
 pub use ust_sampling as sampling;
 pub use ust_spatial as spatial;
 pub use ust_trajectory as trajectory;
@@ -34,9 +37,10 @@ pub use ust_trajectory as trajectory;
 /// Commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
     pub use ust_core::{
-        AdaptationCache, CacheStats, DatabaseSummary, EngineConfig, ObjectProbability,
-        PcnnOutcome, PrepareOutcome, Query, QueryEngine, QueryOutcome,
+        AdaptationCache, CacheStats, DatabaseSummary, EngineConfig, EngineStore,
+        ObjectProbability, PcnnOutcome, PrepareOutcome, Query, QueryEngine, QueryOutcome,
     };
+    pub use ust_persist::{StoreError, StoreStats};
     pub use ust_generator::{
         learn_model_from_matches, map_match, Dataset, GeoFrame, LoadError, LoadErrorKind,
         LoadOutcome, MapMatchConfig, MapMatchOutcome, MatchStats, MatchedObject,
