@@ -18,9 +18,6 @@
 //! so that the Criterion micro-benchmarks (`benches/`) and the figure binaries
 //! share one implementation.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod args;
 pub mod continuous;
 pub mod datasets;

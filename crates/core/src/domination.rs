@@ -81,7 +81,12 @@ pub fn domination_probability(
     let mut t = first;
     while t < last {
         let mut next: FxHashMap<(StateId, StateId), f64> = FxHashMap::default();
-        for (&(so, sa), &w) in &joint {
+        // Evolve in key order, not hash order: f64 accumulation is
+        // order-sensitive at the last bit, and this probability feeds the
+        // exact-result path, which must not depend on hash-map internals.
+        let mut entries: Vec<((StateId, StateId), f64)> = joint.into_iter().collect();
+        entries.sort_unstable_by_key(|&(key, _)| key);
+        for ((so, sa), w) in entries {
             let row_o = o.transition_row(t, so).expect("reachable state has a row");
             let row_a = other.transition_row(t, sa).expect("reachable state has a row");
             for (no, wo) in row_o.iter() {
@@ -102,7 +107,11 @@ pub fn domination_probability(
         }
         joint = next;
     }
-    joint.values().sum()
+    // Same discipline for the final reduction: sum the surviving mass in key
+    // order so the result is bit-stable across hash-map implementations.
+    let mut survivors: Vec<((StateId, StateId), f64)> = joint.into_iter().collect();
+    survivors.sort_unstable_by_key(|&(key, _)| key);
+    survivors.into_iter().map(|(_, mass)| mass).sum()
 }
 
 #[cfg(test)]

@@ -126,6 +126,17 @@ pub struct QueryEngine<'a> {
     cache: AdaptationCache,
 }
 
+impl std::fmt::Debug for QueryEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("objects", &self.db.objects().len())
+            .field("indexed", &self.index.is_some())
+            .field("config", &self.config)
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
 impl<'a> QueryEngine<'a> {
     /// Creates an engine, building the UST-tree if the configuration enables
     /// the filter step (the build fans out across
@@ -298,6 +309,7 @@ impl<'a> QueryEngine<'a> {
         let mut cold_time = Duration::ZERO;
         if !cold.is_empty() {
             let cold_ids: Vec<ObjectId> = cold.iter().map(|&(_, id)| id).collect();
+            // lint: allow(T001) cold_time is QueryStats observability; it never feeds results
             let start = Instant::now();
             let results = adapt_batch(&self.cache, &cold_ids, threads, |id| {
                 self.adapt_uncached(id)
@@ -401,6 +413,7 @@ impl<'a> QueryEngine<'a> {
         let space = self.db.state_space();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
+        // lint: allow(T001) sampling_time is QueryStats observability; it never feeds results
         let start = Instant::now();
         let num_worlds = self.config.num_samples;
         // One vertical world-set per candidate, in ascending object order (the

@@ -37,9 +37,6 @@
 //! * [`effectiveness`] — the model-adaptation error study of Figure 12
 //!   (a-priori vs. forward vs. forward–backward vs. uniform models).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod domination;
 pub mod effectiveness;
 pub mod engine;

@@ -130,6 +130,7 @@ fn combine(
     for &t in query.times() {
         let q = query.position_at(t).expect("query validated by the caller");
         let per_t = snapshot_nn_probabilities(models, space, &q, t);
+        // lint: allow(D001) per-entry in-place update; no cross-entry order dependence
         for (id, value) in acc.iter_mut() {
             let p_t = per_t.get(id).copied().unwrap_or(0.0);
             if forall {
@@ -139,6 +140,7 @@ fn combine(
             }
         }
     }
+    // lint: allow(D001) drained in hash order but sorted below before anything is emitted
     let mut out: Vec<ObjectProbability> = acc
         .into_iter()
         .map(|(object, v)| ObjectProbability {

@@ -26,9 +26,6 @@
 //!   shortest-path gap interpolation and model learning from matched traces.
 //! * [`workload`] — datasets (database + ground truth) and query generators.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod grid;
 pub mod map_match;
 pub mod network;

@@ -288,6 +288,7 @@ pub fn map_match(network: &Network, fixes: &[RawFix], cfg: &MapMatchConfig) -> M
                 stats.out_of_radius += 1;
                 continue;
             };
+            // lint: allow(P001) state is an index returned by GridSnapper::nearest over these points
             if points[state as usize].dist(&p) > cfg.snap_radius {
                 stats.out_of_radius += 1;
                 continue;
@@ -308,7 +309,9 @@ pub fn map_match(network: &Network, fixes: &[RawFix], cfg: &MapMatchConfig) -> M
                 continue;
             }
             let (observations, segments) =
+                // lint: allow(P001) starts_new_session pushed a session on the None arm above
                 sessions.last_mut().expect("a session exists past the None arm");
+            // lint: allow(P001) every session is created with its first observation
             let &(last_tick, last_state) = observations.last().expect("sessions are non-empty");
             let gap = (tick - last_tick) as usize;
             match finder.path_within(network, last_state, state, gap) {
@@ -344,6 +347,7 @@ pub fn map_match(network: &Network, fixes: &[RawFix], cfg: &MapMatchConfig) -> M
             stats.objects_matched += 1;
             let path = interpolate(&observations, &segments);
             let object = UncertainObject::from_pairs(session_id, observations)
+                // lint: allow(P001) duplicate-tick and gap filters enforce strict increase
                 .expect("kept observations are strictly increasing");
             objects.push(MatchedObject { object, source: id, path });
         }
@@ -398,6 +402,7 @@ impl PathFinder {
             self.stamp = 0;
         }
         self.stamp += 1;
+        // lint: allow(P001) visited/parent are sized to the network node count; from is a node id
         self.visited[from as usize] = self.stamp;
         self.frontier.clear();
         self.frontier.push(from);
@@ -405,15 +410,19 @@ impl PathFinder {
             self.next.clear();
             for &state in &self.frontier {
                 for &(neighbor, _) in network.neighbors(state) {
+                    // lint: allow(P001) neighbor ids are validated against the node count at graph build
                     if self.visited[neighbor as usize] == self.stamp {
                         continue;
                     }
+                    // lint: allow(P001) neighbor ids are validated against the node count at graph build
                     self.visited[neighbor as usize] = self.stamp;
+                    // lint: allow(P001) neighbor ids are validated against the node count at graph build
                     self.parent[neighbor as usize] = state;
                     if neighbor == to {
                         let mut path = vec![to];
                         let mut cur = to;
                         while cur != from {
+                            // lint: allow(P001) cur walks parent links the BFS just wrote
                             cur = self.parent[cur as usize];
                             path.push(cur);
                         }
@@ -452,10 +461,13 @@ fn interpolate(observations: &[(Timestamp, StateId)], segments: &[Vec<StateId>])
     let (start, first_state) = observations[0];
     let mut states = vec![first_state];
     for (k, seg) in segments.iter().enumerate() {
+        // lint: allow(P001) k enumerates segments, which has observations.len() - 1 entries
         let (from_t, _) = observations[k];
+        // lint: allow(P001) k enumerates segments, which has observations.len() - 1 entries
         let (to_t, _) = observations[k + 1];
         let hops = seg.len() - 1;
         for t in (from_t + 1)..=to_t {
+            // lint: allow(P001) the index is clamped to hops = seg.len() - 1, and segments are never empty
             states.push(seg[((t - from_t) as usize).min(hops)]);
         }
     }

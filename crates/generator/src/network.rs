@@ -196,6 +196,15 @@ pub struct PathFinder<'a> {
     heap: BinaryHeap<AStarEntry>,
 }
 
+impl std::fmt::Debug for PathFinder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PathFinder")
+            .field("states", &self.g_score.len())
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
 impl<'a> PathFinder<'a> {
     /// Creates a finder with fresh scratch for the given network.
     pub fn new(network: &'a Network) -> Self {

@@ -341,7 +341,7 @@ pub fn parse_datetime(field: &str) -> Option<i64> {
     }
     let digits = |range: std::ops::Range<usize>| -> Option<i64> {
         let mut v: i64 = 0;
-        for &c in &b[range] {
+        for &c in b.get(range)? {
             if !c.is_ascii_digit() {
                 return None;
             }

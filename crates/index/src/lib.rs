@@ -20,9 +20,6 @@
 //! The pruned candidate/influence sets are exactly what the sampling engine of
 //! `ust-core` refines.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod diamond;
 pub mod par;
 pub mod pruning;

@@ -233,6 +233,7 @@ impl UstTree {
     /// runs are concatenated in object order before a single STR bulk load,
     /// so the index is byte-identical at every thread count.
     pub fn build_with(db: &TrajectoryDatabase, cfg: &UstTreeConfig) -> Self {
+        // lint: allow(T001) build_time is BuildStats observability; the index bytes are clock-free
         let start = Instant::now();
         let space = db.state_space();
 

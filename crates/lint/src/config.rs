@@ -1,0 +1,343 @@
+//! The `lint.toml` configuration: rule scopes and per-path waivers.
+//!
+//! The parser covers exactly the TOML subset the checked-in `lint.toml`
+//! uses — `key = "string"`, `key = ["array", "of", "strings"]` (single- or
+//! multi-line), `[section]` tables and `[[waiver]]` array-of-tables — with a
+//! typed [`ConfigError`] for everything else. A hand-rolled parser keeps the
+//! linter dependency-free, which matters: it must build before (and
+//! independently of) the code it checks.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Where a rule applies. An empty `paths` list means "everywhere the walker
+/// visits"; `exclude` always wins over `paths`.
+#[derive(Debug, Clone, Default)]
+pub struct RuleScope {
+    /// Path prefixes (workspace-relative, `/`-separated) the rule covers.
+    pub paths: Vec<String>,
+    /// Path prefixes carved out of the rule's coverage.
+    pub exclude: Vec<String>,
+}
+
+/// A checked-in exemption: `rule` does not fire under `path`. Unlike inline
+/// `// lint: allow(...)` comments these cover whole files or directories, so
+/// every one must carry a reason.
+#[derive(Debug, Clone)]
+pub struct ConfigWaiver {
+    /// Path prefix the waiver covers.
+    pub path: String,
+    /// The waived rule id (e.g. `"P001"`).
+    pub rule: String,
+    /// Why the exemption is sound.
+    pub reason: String,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path prefixes the walker skips entirely (on top of the built-in
+    /// `target`/`vendor`/`.git` skips).
+    pub exclude: Vec<String>,
+    /// Per-rule scopes, keyed by rule id.
+    pub rules: BTreeMap<String, RuleScope>,
+    /// Path-level waivers.
+    pub waivers: Vec<ConfigWaiver>,
+}
+
+/// Why a `lint.toml` could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the offending text (0 for file-level problems).
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parses a `lint.toml` document.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut config = Config::default();
+        #[derive(PartialEq)]
+        enum Section {
+            Root,
+            Rule(String),
+            Waiver,
+        }
+        let mut section = Section::Root;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                if name.trim() != "waiver" {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown array-of-tables [[{}]]", name.trim()),
+                    });
+                }
+                config.waivers.push(ConfigWaiver {
+                    path: String::new(),
+                    rule: String::new(),
+                    reason: String::new(),
+                });
+                section = Section::Waiver;
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let name = name.trim();
+                if let Some(rule) = name.strip_prefix("rule.") {
+                    config.rules.entry(rule.to_string()).or_default();
+                    section = Section::Rule(rule.to_string());
+                } else {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown section [{name}]"),
+                    });
+                }
+                continue;
+            }
+            let Some(eq) = line.find('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value`, found {line:?}"),
+                });
+            };
+            let key = line[..eq].trim().to_string();
+            let mut value = line[eq + 1..].trim().to_string();
+            // Multi-line arrays: keep consuming until the closing bracket.
+            if value.starts_with('[') && !value.ends_with(']') {
+                for (_, cont) in lines.by_ref() {
+                    let cont = strip_comment(cont).trim().to_string();
+                    value.push(' ');
+                    value.push_str(&cont);
+                    if cont.ends_with(']') {
+                        break;
+                    }
+                }
+                if !value.ends_with(']') {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unterminated array for key {key:?}"),
+                    });
+                }
+            }
+            apply_key(&mut config, &section, &key, &value, lineno)?;
+            fn apply_key(
+                config: &mut Config,
+                section: &Section,
+                key: &str,
+                value: &str,
+                lineno: usize,
+            ) -> Result<(), ConfigError> {
+                match section {
+                    Section::Root => match key {
+                        "exclude" => {
+                            config.exclude = parse_string_array(value, lineno)?;
+                            Ok(())
+                        }
+                        _ => Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown top-level key {key:?}"),
+                        }),
+                    },
+                    Section::Rule(rule) => {
+                        let scope = config.rules.entry(rule.clone()).or_default();
+                        match key {
+                            "paths" => {
+                                scope.paths = parse_string_array(value, lineno)?;
+                                Ok(())
+                            }
+                            "exclude" => {
+                                scope.exclude = parse_string_array(value, lineno)?;
+                                Ok(())
+                            }
+                            _ => Err(ConfigError {
+                                line: lineno,
+                                message: format!("unknown [rule.{rule}] key {key:?}"),
+                            }),
+                        }
+                    }
+                    Section::Waiver => {
+                        let Some(waiver) = config.waivers.last_mut() else {
+                            return Err(ConfigError {
+                                line: lineno,
+                                message: "waiver key outside [[waiver]]".to_string(),
+                            });
+                        };
+                        let text = parse_string(value, lineno)?;
+                        match key {
+                            "path" => waiver.path = text,
+                            "rule" => waiver.rule = text,
+                            "reason" => waiver.reason = text,
+                            _ => {
+                                return Err(ConfigError {
+                                    line: lineno,
+                                    message: format!("unknown [[waiver]] key {key:?}"),
+                                })
+                            }
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        }
+        for (i, w) in config.waivers.iter().enumerate() {
+            if w.path.is_empty() || w.rule.is_empty() || w.reason.is_empty() {
+                return Err(ConfigError {
+                    line: 0,
+                    message: format!(
+                        "waiver #{} must set path, rule and reason (a reasonless \
+                         exemption is not auditable)",
+                        i + 1
+                    ),
+                });
+            }
+        }
+        Ok(config)
+    }
+
+    /// Loads and parses `<path>`.
+    pub fn load(path: &Path) -> Result<Config, ConfigError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ConfigError {
+            line: 0,
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Config::parse(&text)
+    }
+
+    /// Whether `rule` applies to the workspace-relative `path` under this
+    /// configuration. Unconfigured rules apply everywhere.
+    pub fn rule_applies(&self, rule: &str, path: &str) -> bool {
+        match self.rules.get(rule) {
+            None => true,
+            Some(scope) => {
+                let included =
+                    scope.paths.is_empty() || scope.paths.iter().any(|p| prefix_match(p, path));
+                included && !scope.exclude.iter().any(|p| prefix_match(p, path))
+            }
+        }
+    }
+
+    /// The configured waiver covering `(rule, path)`, if any.
+    pub fn waiver_for(&self, rule: &str, path: &str) -> Option<&ConfigWaiver> {
+        self.waivers
+            .iter()
+            .find(|w| w.rule == rule && prefix_match(&w.path, path))
+    }
+}
+
+/// Component-aligned prefix match: `crates/persist` covers
+/// `crates/persist/src/codec.rs` but not `crates/persist2/...`.
+pub fn prefix_match(prefix: &str, path: &str) -> bool {
+    let prefix = prefix.trim_end_matches('/');
+    path == prefix
+        || (path.starts_with(prefix) && path.as_bytes().get(prefix.len()) == Some(&b'/'))
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` only opens a comment outside quotes; the values here never contain
+    // `#`, but be precise anyway.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, ConfigError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(ConfigError {
+            line: lineno,
+            message: format!("expected a double-quoted string, found {v:?}"),
+        })
+    }
+}
+
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, ConfigError> {
+    let v = value.trim();
+    let Some(inner) = v.strip_prefix('[').and_then(|s| s.strip_suffix(']')) else {
+        return Err(ConfigError {
+            line: lineno,
+            message: format!("expected an array of strings, found {v:?}"),
+        });
+    };
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(item, lineno)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let text = r#"
+# top comment
+exclude = ["vendor", "target"]
+
+[rule.P001]
+paths = [
+    "crates/persist/src",
+    "crates/generator/src/tdrive.rs",
+]
+exclude = ["crates/persist/src/fuzz.rs"]
+
+[[waiver]]
+path = "crates/persist/src/store.rs"
+rule = "T001"
+reason = "load_time is observability metadata"
+"#;
+        let c = Config::parse(text).unwrap();
+        assert_eq!(c.exclude, vec!["vendor", "target"]);
+        assert!(c.rule_applies("P001", "crates/persist/src/codec.rs"));
+        assert!(!c.rule_applies("P001", "crates/persist/src/fuzz.rs"));
+        assert!(!c.rule_applies("P001", "crates/core/src/engine.rs"));
+        assert!(c.rule_applies("U001", "anything/at/all.rs"), "unconfigured rules are global");
+        assert!(c.waiver_for("T001", "crates/persist/src/store.rs").is_some());
+        assert!(c.waiver_for("T001", "crates/persist/src/codec.rs").is_none());
+    }
+
+    #[test]
+    fn prefix_matching_is_component_aligned() {
+        assert!(prefix_match("crates/persist", "crates/persist/src/x.rs"));
+        assert!(prefix_match("crates/persist/src/x.rs", "crates/persist/src/x.rs"));
+        assert!(!prefix_match("crates/persist", "crates/persist2/src/x.rs"));
+    }
+
+    #[test]
+    fn errors_are_typed_and_line_numbered() {
+        let err = Config::parse("nonsense\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = Config::parse("[rule.P001]\nbogus = \"x\"\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = Config::parse("[[waiver]]\npath = \"x\"\nrule = \"P001\"\n").unwrap_err();
+        assert!(err.message.contains("reason"), "{}", err.message);
+    }
+}

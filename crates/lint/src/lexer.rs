@@ -1,0 +1,331 @@
+//! A minimal Rust surface lexer: splits each source line into *code* and
+//! *comment* text and marks test-only regions.
+//!
+//! The rules in [`crate::rules`] are token-level, so the one piece of real
+//! parsing the linter needs is knowing what is code and what is not: a
+//! `unwrap()` inside a doc comment or a string literal must never fire a
+//! finding. This module walks the source once, tracking comment/string/char
+//! state (including nested block comments and raw strings), and emits one
+//! [`SourceLine`] per input line where string and comment contents are
+//! blanked out of the `code` text — column positions are preserved, so
+//! findings can report exact lines against the original file.
+//!
+//! It also computes `in_test`: lines inside a `#[cfg(test)]` module or a
+//! `#[test]` function, tracked by brace depth. Panic-style rules skip those
+//! regions (tests are *supposed* to unwrap).
+
+/// One analysed source line.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// The line's code with comment and string/char contents replaced by
+    /// spaces (delimiters are kept, so the text stays structurally intact).
+    pub code: String,
+    /// Comment text found on this line (line and block comments merged),
+    /// `None` if the line carries no comment.
+    pub comment: Option<String>,
+    /// Whether the line sits inside a `#[cfg(test)]` module or `#[test]`
+    /// function body (attribute line included).
+    pub in_test: bool,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Lexes `text` into per-line code/comment splits with test-region marks.
+pub fn analyze(text: &str) -> Vec<SourceLine> {
+    let mut lines: Vec<SourceLine> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let n = bytes.len();
+
+    let flush = |code: &mut String, comment: &mut String, lines: &mut Vec<SourceLine>| {
+        lines.push(SourceLine {
+            code: std::mem::take(code),
+            comment: if comment.is_empty() { None } else { Some(std::mem::take(comment)) },
+            in_test: false,
+        });
+        comment.clear();
+    };
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            flush(&mut code, &mut comment, &mut lines);
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = bytes.get(i + 1).copied().unwrap_or('\0');
+                if c == '/' && next == '/' {
+                    state = State::LineComment;
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    state = State::BlockComment(1);
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    code.push('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && is_raw_string_start(&bytes, i) {
+                    let (hashes, consumed) = raw_string_open(&bytes, i);
+                    state = State::RawStr(hashes);
+                    for _ in 0..consumed {
+                        code.push(' ');
+                    }
+                    code.push('"');
+                    i += consumed + 1;
+                } else if c == 'b' && next == '"' {
+                    state = State::Str;
+                    code.push_str(" \"");
+                    i += 2;
+                } else if c == '\'' {
+                    // Char literal or lifetime. `'\x'`-style escapes and
+                    // `'c'` are literals; anything else is a lifetime and
+                    // stays code.
+                    let c1 = bytes.get(i + 1).copied().unwrap_or('\0');
+                    let c2 = bytes.get(i + 2).copied().unwrap_or('\0');
+                    if c1 == '\\' {
+                        // Escaped char literal: skip to the closing quote.
+                        code.push('\'');
+                        i += 1;
+                        while i < n && bytes[i] != '\'' && bytes[i] != '\n' {
+                            code.push(' ');
+                            i += 1;
+                        }
+                        if i < n && bytes[i] == '\'' {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else if c2 == '\'' && c1 != '\'' {
+                        code.push_str("\' \'");
+                        i += 3;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = bytes.get(i + 1).copied().unwrap_or('\0');
+                if c == '*' && next == '/' {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    state = State::BlockComment(depth + 1);
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                let next = bytes.get(i + 1).copied().unwrap_or('\0');
+                if c == '\\' && next != '\0' && next != '\n' {
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Code;
+                    code.push('"');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && raw_string_closes(&bytes, i, hashes) {
+                    state = State::Code;
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        flush(&mut code, &mut comment, &mut lines);
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Whether position `i` (at `r` or `b`) opens a raw string (`r"`, `r#"`,
+/// `br"`, `br#"` …) rather than being a plain identifier character.
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    // An identifier character before `r`/`b` means this is part of a name.
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+        if bytes.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if bytes.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+/// Returns `(hash_count, chars_before_the_quote)` of a raw-string opener.
+fn raw_string_open(bytes: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j - i)
+}
+
+/// Whether the `"` at `i` is followed by `hashes` `#` characters.
+fn raw_string_closes(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Marks lines inside `#[cfg(test)]` modules and `#[test]` functions.
+///
+/// An attribute arms a pending flag; the next `{` opened at the then-current
+/// depth starts the region, which ends when the depth drops back. Attribute
+/// lines themselves are included in the region so helper text next to the
+/// attribute is covered too.
+fn mark_test_regions(lines: &mut [SourceLine]) {
+    let mut depth: i64 = 0;
+    let mut pending: Option<usize> = None; // line of the arming attribute
+    let mut regions: Vec<(usize, usize)> = Vec::new(); // inclusive line spans
+    let mut open: Vec<(i64, usize)> = Vec::new(); // (entry depth, start line)
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if code.contains("#[cfg(test)]") || code.contains("#[test]") {
+            pending = Some(idx);
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if let Some(start) = pending.take() {
+                        open.push((depth, start));
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(&(entry, start)) = open.last() {
+                        if depth == entry {
+                            open.pop();
+                            regions.push((start, idx));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // An unclosed region (truncated input) runs to the end of the file.
+    for (_, start) in open {
+        regions.push((start, lines.len().saturating_sub(1)));
+    }
+    for (start, end) in regions {
+        let end = end.min(lines.len().saturating_sub(1));
+        for line in &mut lines[start..=end] {
+            line.in_test = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"unwrap()\"; // unwrap() here\nlet y = 1;\n";
+        let lines = analyze(src);
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert_eq!(lines[0].comment.as_deref(), Some(" unwrap() here"));
+        assert_eq!(lines[1].code, "let y = 1;");
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let src = "/* a /* b */ still */ code();\nlet s = r#\"x.unwrap()\"#;\n";
+        let lines = analyze(src);
+        assert!(lines[0].code.contains("code();"));
+        assert!(!lines[0].code.contains("still"));
+        assert!(!lines[1].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { '[' }\n";
+        let lines = analyze(src);
+        // The '[' literal must be blanked (it is not an index expression)
+        // while the lifetime text stays code.
+        assert!(lines[0].code.contains("&'a str"));
+        assert!(!lines[0].code.contains('['));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lines = analyze(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test, "the attribute line is inside the region");
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn test_fn_attribute_marks_the_body() {
+        let src = "#[test]\nfn check() {\n    a.unwrap();\n}\nfn other() {}\n";
+        let lines = analyze(src);
+        assert!(lines[2].in_test);
+        assert!(!lines[4].in_test);
+    }
+}

@@ -1,0 +1,119 @@
+//! `ust-lint`: repo-invariant static analysis for the pnnq workspace.
+//!
+//! Two analysis layers, both dependency-free:
+//!
+//! * a line/token-level source scanner ([`rules`]) that enforces the repo's
+//!   invariant catalog — determinism of result paths (D001), panic-freedom of
+//!   the untrusted decoders (P001), pre-checked allocations (A001), no
+//!   wall-clock reads outside the bench timing layer (T001), no `unsafe`
+//!   (U001) — with `file:line` findings, auditable waivers and a checked-in
+//!   [`config`] (`lint.toml`);
+//! * an exhaustive-interleaving model checker ([`claim_model`]) for the
+//!   `AdaptationCache` claim/wait/release protocol, proving exactly-once
+//!   adaptation and deadlock freedom over every schedule of ≤3 threads.
+//!
+//! The binary front-end (`cargo run -p ust-lint -- check --workspace`) lives
+//! in `main.rs`; DESIGN.md §7 documents the rule catalog and the waiver
+//! policy.
+
+pub mod claim_model;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+pub use config::{Config, ConfigError};
+pub use rules::{Finding, Mode};
+
+/// A check run's outcome: everything needed to render text or JSON output.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// All findings, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Number of files visited.
+    pub files_checked: usize,
+}
+
+/// Checks every `.rs` file under `root` against `config`.
+pub fn check_tree(root: &Path, config: &Config, mode: Mode) -> std::io::Result<CheckReport> {
+    let files = walk::collect(root, config)?;
+    let mut findings = Vec::new();
+    let files_checked = files.len();
+    for file in files {
+        let contents = std::fs::read_to_string(&file.abs)?;
+        findings.extend(rules::check_file(config, &file.rel, &contents, file.in_test_dir, mode));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    Ok(CheckReport { findings, files_checked })
+}
+
+/// Checks a single file with every rule applied regardless of configured
+/// scopes — the fixture-corpus entry point.
+pub fn check_file_all_rules(path: &Path, rel: &str) -> std::io::Result<Vec<Finding>> {
+    let contents = std::fs::read_to_string(path)?;
+    Ok(rules::check_file(&Config::default(), rel, &contents, false, Mode::AllRules))
+}
+
+/// Renders findings as JSON (hand-rolled; the linter is dependency-free).
+pub fn findings_to_json(report: &CheckReport) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+            json_string(&f.rule),
+            json_string(&f.path),
+            f.line,
+            json_string(&f.message)
+        ));
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"count\": {},\n  \"files_checked\": {}\n}}\n",
+        report.findings.len(),
+        report.files_checked
+    ));
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_is_sound() {
+        let report = CheckReport {
+            findings: vec![Finding {
+                rule: "P001".to_string(),
+                path: "a/b.rs".to_string(),
+                line: 3,
+                message: "quote \" backslash \\ newline \n done".to_string(),
+            }],
+            files_checked: 1,
+        };
+        let json = findings_to_json(&report);
+        assert!(json.contains(r#""rule": "P001""#));
+        assert!(json.contains(r#"quote \" backslash \\ newline \n done"#));
+        assert!(json.contains("\"count\": 1"));
+    }
+}

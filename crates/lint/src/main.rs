@@ -1,0 +1,259 @@
+//! The `ust-lint` command-line front-end.
+//!
+//! ```text
+//! ust-lint check [--workspace] [--json] [--all-rules] [--config <path>] [paths…]
+//! ust-lint model-check [--json]
+//! ust-lint rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings or model violations, `2` usage or
+//! configuration errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ust_lint::claim_model::{self, Mutation};
+use ust_lint::rules::{rule_summary, RULE_IDS};
+use ust_lint::{check_tree, findings_to_json, CheckReport, Config, Mode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("model-check") => cmd_model_check(&args[1..]),
+        Some("rules") => cmd_rules(),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("ust-lint: unknown command {other:?}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+ust-lint: repo-invariant static analysis for the pnnq workspace
+
+USAGE:
+  ust-lint check [--workspace] [--json] [--all-rules] [--config <path>] [paths…]
+      Scan .rs sources for rule violations. With --workspace (or no paths),
+      scans the whole tree from the workspace root using lint.toml; explicit
+      paths scan just those files or directories. --all-rules ignores the
+      configured rule scopes (fixture testing).
+  ust-lint model-check [--json]
+      Exhaustively explore the AdaptationCache claim protocol over every
+      schedule of ≤3 model threads and every faulty subset.
+  ust-lint rules
+      List the rule catalog.
+";
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut all_rules = false;
+    let mut workspace = false;
+    let mut config_path: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--all-rules" => all_rules = true,
+            "--workspace" => workspace = true,
+            "--config" => match it.next() {
+                Some(p) => config_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ust-lint: --config needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("ust-lint: unknown flag {flag:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let root = match workspace_root() {
+        Some(root) => root,
+        None => {
+            eprintln!("ust-lint: cannot locate the workspace root (no Cargo.toml upward)");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config = if config_path.exists() {
+        match Config::load(&config_path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("ust-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Config::default()
+    };
+    let mode = if all_rules { Mode::AllRules } else { Mode::Scoped };
+
+    let targets: Vec<PathBuf> = if workspace || paths.is_empty() {
+        vec![root.clone()]
+    } else {
+        paths
+    };
+    let mut report = CheckReport { findings: Vec::new(), files_checked: 0 };
+    for target in &targets {
+        match scan_target(&root, target, &config, mode) {
+            Ok(part) => {
+                report.findings.extend(part.findings);
+                report.files_checked += part.files_checked;
+            }
+            Err(e) => {
+                eprintln!("ust-lint: cannot scan {}: {e}", target.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+
+    if json {
+        print!("{}", findings_to_json(&report));
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        println!(
+            "ust-lint: {} finding(s) across {} file(s)",
+            report.findings.len(),
+            report.files_checked
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Scans one target: a directory (walked) or a single file.
+fn scan_target(
+    root: &Path,
+    target: &Path,
+    config: &Config,
+    mode: Mode,
+) -> std::io::Result<CheckReport> {
+    if target.is_dir() {
+        return check_tree(target, config, mode);
+    }
+    let abs = if target.is_absolute() {
+        target.to_path_buf()
+    } else {
+        std::env::current_dir()?.join(target)
+    };
+    let rel = abs
+        .strip_prefix(root)
+        .unwrap_or(&abs)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/");
+    let contents = std::fs::read_to_string(&abs)?;
+    let findings = ust_lint::rules::check_file(config, &rel, &contents, false, mode);
+    Ok(CheckReport { findings, files_checked: 1 })
+}
+
+/// Ascends from the current directory to the outermost `Cargo.toml` that
+/// declares a `[workspace]`.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    let mut best: Option<PathBuf> = None;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            let is_workspace = std::fs::read_to_string(&manifest)
+                .is_ok_and(|t| t.contains("[workspace]"));
+            if is_workspace || best.is_none() {
+                best = Some(dir.clone());
+            }
+            if is_workspace {
+                return best;
+            }
+        }
+        if !dir.pop() {
+            return best;
+        }
+    }
+}
+
+fn cmd_model_check(args: &[String]) -> ExitCode {
+    let json = args.iter().any(|a| a == "--json");
+    let reports = claim_model::verify_protocol(claim_model::MAX_THREADS);
+    let total_schedules: u64 = reports.iter().map(|r| r.schedules).sum();
+    let violations: Vec<&String> = reports.iter().flat_map(|r| &r.violations).collect();
+
+    // Sanity: the checker itself must be able to catch bugs — the broken
+    // mutants have to produce violations, or a green run proves nothing.
+    let mutants_caught = !claim_model::explore(2, 0b00, Mutation::SplitCheckClaim).clean()
+        && !claim_model::explore(2, 0b00, Mutation::SkipPublishNotify).clean()
+        && !claim_model::explore(2, 0b01, Mutation::SkipPanicNotify).clean();
+
+    if json {
+        let mut out = String::from("{\n  \"configs\": [");
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"threads\": {}, \"faulty_mask\": {}, \"schedules\": {}, \
+                 \"violations\": {}}}",
+                r.threads,
+                r.faulty_mask,
+                r.schedules,
+                r.violations.len()
+            ));
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"total_schedules\": {},\n  \"violations\": {},\n  \
+             \"mutants_caught\": {}\n}}\n",
+            total_schedules,
+            violations.len(),
+            mutants_caught
+        ));
+        print!("{out}");
+    } else {
+        println!("claim-protocol model check ({} thread configs):", reports.len());
+        for r in &reports {
+            println!(
+                "  threads={} faulty={:#05b}: {:>6} schedules, {} violation(s)",
+                r.threads,
+                r.faulty_mask,
+                r.schedules,
+                r.violations.len()
+            );
+        }
+        for v in &violations {
+            println!("  VIOLATION: {v}");
+        }
+        println!(
+            "total: {total_schedules} schedules explored; broken mutants caught: {mutants_caught}"
+        );
+    }
+    if violations.is_empty() && mutants_caught {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_rules() -> ExitCode {
+    println!("rule catalog (see DESIGN.md §7 for the full policy):");
+    for rule in RULE_IDS {
+        println!("  {rule}  {}", rule_summary(rule));
+    }
+    println!("  W000  {}", rule_summary("W000"));
+    println!("  W001  {}", rule_summary("W001"));
+    ExitCode::SUCCESS
+}

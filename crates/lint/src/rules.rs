@@ -1,0 +1,678 @@
+//! The rule catalog and the per-file checking engine.
+//!
+//! Five repo-invariant rules, each guarding a contract earlier PRs
+//! established by convention (DESIGN.md §7 documents the catalog):
+//!
+//! | id   | invariant |
+//! |------|-----------|
+//! | D001 | no unordered hash-container iteration in result/codec/digest paths |
+//! | P001 | no `unwrap`/`expect`/`panic!`/non-literal indexing in decoder code |
+//! | A001 | no allocation sized by a decoded integer without a `count` pre-check |
+//! | T001 | no `Instant::now`/`SystemTime` outside the bench timing layer |
+//! | U001 | no `unsafe` anywhere |
+//!
+//! Every finding is waivable — inline via `// lint: allow(RULE) reason` on
+//! (or directly above) the offending line, or per-path via `lint.toml` — and
+//! every waiver must carry a reason. Two meta-rules keep the exemption
+//! ledger honest: W000 fires on a reasonless inline waiver, W001 on an
+//! inline waiver that no longer suppresses anything.
+
+use crate::config::Config;
+use crate::lexer::{self, SourceLine};
+
+/// All rule ids the engine knows, in report order.
+pub const RULE_IDS: [&str; 5] = ["D001", "P001", "A001", "T001", "U001"];
+
+/// One-line description of each rule, for `ust-lint rules` and the docs.
+pub fn rule_summary(rule: &str) -> &'static str {
+    match rule {
+        "D001" => "unordered HashMap/HashSet iteration in a deterministic-output path",
+        "P001" => "unwrap()/expect()/panic!/non-literal indexing in decoder code",
+        "A001" => "allocation sized by a decoded integer without a count pre-check",
+        "T001" => "Instant::now/SystemTime outside the bench timing layer",
+        "U001" => "unsafe code",
+        "W000" => "inline waiver without a reason",
+        "W001" => "inline waiver that suppresses nothing",
+        _ => "unknown rule",
+    }
+}
+
+/// One finding: a rule violation at a file:line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`D001`, `P001`, … or the meta-rules `W000`/`W001`).
+    pub rule: String,
+    /// Workspace-relative path of the file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {} {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// An inline `// lint: allow(RULE) reason` comment.
+#[derive(Debug)]
+struct InlineWaiver {
+    rule: String,
+    reason: String,
+    /// Line the comment sits on (1-based), where W000/W001 report.
+    decl_line: usize,
+    /// Line the waiver suppresses findings on (1-based).
+    target_line: usize,
+    used: bool,
+}
+
+/// How a file is checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Respect `lint.toml` rule scopes and path waivers (workspace runs).
+    Scoped,
+    /// Apply every rule regardless of configured scope (fixture runs); the
+    /// file's `tests`/`benches` directory classification is ignored too,
+    /// but `#[cfg(test)]` regions inside the file are still honoured.
+    AllRules,
+}
+
+/// Checks one file's contents and returns its findings, sorted by line.
+///
+/// `rel_path` is the workspace-relative, `/`-separated path used for scope
+/// and waiver matching; `in_test_dir` marks files under `tests/`, `benches/`
+/// or `examples/` directories (skipped by every rule except U001).
+pub fn check_file(
+    config: &Config,
+    rel_path: &str,
+    contents: &str,
+    in_test_dir: bool,
+    mode: Mode,
+) -> Vec<Finding> {
+    let lines = lexer::analyze(contents);
+    let mut waivers = collect_inline_waivers(&lines);
+    let mut findings: Vec<Finding> = Vec::new();
+
+    let in_test_dir = in_test_dir && mode == Mode::Scoped;
+    for rule in RULE_IDS {
+        if mode == Mode::Scoped && !config.rule_applies(rule, rel_path) {
+            continue;
+        }
+        // Test code is allowed to panic, time itself and iterate hash maps;
+        // `unsafe` stays banned everywhere.
+        let skip_test = rule != "U001";
+        if skip_test && in_test_dir {
+            continue;
+        }
+        let candidates = match rule {
+            "D001" => check_d001(&lines, skip_test),
+            "P001" => check_p001(&lines, skip_test),
+            "A001" => check_a001(&lines, skip_test),
+            "T001" => check_t001(&lines, skip_test),
+            "U001" => check_u001(&lines),
+            _ => unreachable!("RULE_IDS is the closed set of rules"),
+        };
+        for (line, message) in candidates {
+            if let Some(w) = waivers
+                .iter_mut()
+                .find(|w| w.rule == rule && w.target_line == line)
+            {
+                w.used = true;
+                continue;
+            }
+            if mode == Mode::Scoped && config.waiver_for(rule, rel_path).is_some() {
+                continue;
+            }
+            findings.push(Finding {
+                rule: rule.to_string(),
+                path: rel_path.to_string(),
+                line,
+                message,
+            });
+        }
+    }
+
+    for w in &waivers {
+        if w.reason.is_empty() {
+            findings.push(Finding {
+                rule: "W000".to_string(),
+                path: rel_path.to_string(),
+                line: w.decl_line,
+                message: format!(
+                    "waiver for {} has no reason; every exemption must say why it is sound",
+                    w.rule
+                ),
+            });
+        } else if !w.used {
+            findings.push(Finding {
+                rule: "W001".to_string(),
+                path: rel_path.to_string(),
+                line: w.decl_line,
+                message: format!(
+                    "waiver for {} suppresses nothing on line {}; delete it or move it \
+                     next to the finding",
+                    w.rule, w.target_line
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    findings
+}
+
+/// Extracts inline waivers: `lint: allow(RULE) reason…` inside a comment.
+/// A waiver on a line that has code covers that line; a waiver on a
+/// comment-only line covers the next line that has code.
+fn collect_inline_waivers(lines: &[SourceLine]) -> Vec<InlineWaiver> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(comment) = &line.comment else { continue };
+        let Some(at) = comment.find("lint: allow(") else { continue };
+        let rest = &comment[at + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let rule = rest[..close].trim().to_string();
+        // Only rule-id-shaped names (`P001`) are waivers; prose that merely
+        // mentions the grammar (`allow(RULE)`, `allow(...)`) is not. Unknown
+        // but id-shaped rules still register, so a typo'd waiver surfaces as
+        // W001 instead of silently suppressing nothing.
+        let id_shaped = rule.len() == 4
+            && rule.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+            && rule.chars().skip(1).all(|c| c.is_ascii_digit());
+        if !id_shaped {
+            continue;
+        }
+        let reason = rest[close + 1..].trim().to_string();
+        let target_line = if line.code.trim().is_empty() {
+            lines
+                .iter()
+                .enumerate()
+                .skip(idx + 1)
+                .find(|(_, l)| !l.code.trim().is_empty())
+                .map(|(i, _)| i + 1)
+                .unwrap_or(idx + 1)
+        } else {
+            idx + 1
+        };
+        out.push(InlineWaiver { rule, reason, decl_line: idx + 1, target_line, used: false });
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Occurrences of `word` in `text` at identifier boundaries.
+fn word_offsets(text: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !is_ident_char(text[..at].chars().next_back().unwrap_or(' '));
+        let after = text[at + word.len()..].chars().next().unwrap_or(' ');
+        if before_ok && !is_ident_char(after) {
+            out.push(at);
+        }
+        from = at + word.len();
+    }
+    out
+}
+
+/// Joins code lines into one text with a byte-offset → line-number map.
+fn joined_code(lines: &[SourceLine]) -> (String, Vec<usize>) {
+    let mut text = String::new();
+    let mut starts = Vec::with_capacity(lines.len());
+    for line in lines {
+        starts.push(text.len());
+        text.push_str(&line.code);
+        text.push('\n');
+    }
+    (text, starts)
+}
+
+fn line_of(starts: &[usize], offset: usize) -> usize {
+    // partition_point: number of lines starting at or before `offset`.
+    starts.partition_point(|&s| s <= offset)
+}
+
+fn skip_line(lines: &[SourceLine], lineno: usize, skip_test: bool) -> bool {
+    skip_test && lines.get(lineno - 1).is_some_and(|l| l.in_test)
+}
+
+// ---------------------------------------------------------------------------
+// D001 — unordered hash iteration in deterministic-output paths
+// ---------------------------------------------------------------------------
+
+const HASH_TYPES: [&str; 4] = ["FxHashMap", "FxHashSet", "HashMap", "HashSet"];
+const ITER_METHODS: [&str; 7] =
+    [".iter()", ".iter_mut()", ".into_iter()", ".keys()", ".values()", ".values_mut()", ".drain("];
+
+/// Flags iteration over identifiers whose hash-container type is visible in
+/// this file (`let`/field/param declarations). Membership tests and keyed
+/// lookups are order-free and stay silent; `.iter()`-family calls and `for …
+/// in ident` loops fire — unless a `.sort` call follows within three lines,
+/// the repo's established "drain, then sort before emitting" idiom that this
+/// rule exists to make mandatory. Matches on the identifier's own declaration
+/// line are skipped too: in `let x: FxHashMap<…> = x.into_iter()…` the
+/// receiver is the pre-shadow binding, not the map. Receivers whose type is
+/// not visible in the file (e.g. behind a method call) are out of reach of
+/// this token-level check — DESIGN.md §7 documents the limitation.
+fn check_d001(lines: &[SourceLine], skip_test: bool) -> Vec<(usize, String)> {
+    let (text, starts) = joined_code(lines);
+    // Pass 1: hash-typed identifiers declared in this file.
+    let mut idents: Vec<String> = Vec::new();
+    for line in lines.iter() {
+        let code = line.code.trim();
+        if code.starts_with("use ") {
+            continue;
+        }
+        for ty in HASH_TYPES {
+            for at in word_offsets(&line.code, ty) {
+                // The identifier sits before the nearest `:` or `=` that
+                // precedes the type name: `let mut acc: FxHashMap<…> = …`,
+                // `let mut out = FxHashMap::default()`, `slots: Mutex<FxHashMap…>`.
+                let head = &line.code[..at];
+                let Some(sep) = head.rfind([':', '=']) else { continue };
+                let ident: String = head[..sep]
+                    .trim_end()
+                    .chars()
+                    .rev()
+                    .take_while(|&c| is_ident_char(c))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                    .collect();
+                if !ident.is_empty()
+                    && !ident.chars().next().is_some_and(|c| c.is_ascii_digit())
+                    && !idents.contains(&ident)
+                {
+                    idents.push(ident);
+                }
+            }
+        }
+    }
+    // Pass 2: iteration over those identifiers.
+    let mut out = Vec::new();
+    for ident in &idents {
+        for at in word_offsets(&text, ident) {
+            let lineno = line_of(&starts, at);
+            if skip_line(lines, lineno, skip_test) {
+                continue;
+            }
+            // Shadowing declarations iterate the *previous* binding:
+            // in `let x: FxHashMap<…> = x.into_iter()…` the receiver is the
+            // pre-shadow value, so a match inside a `let <ident> … = …`
+            // statement head is not hash iteration.
+            let stmt_start = text[..at].rfind([';', '{', '}']).map_or(0, |i| i + 1);
+            let stmt_head = &text[stmt_start..at];
+            let shadow_decl = stmt_head.contains("let ")
+                && stmt_head.contains('=')
+                && !word_offsets(stmt_head, ident).is_empty();
+            if shadow_decl {
+                continue;
+            }
+            // The drain-then-sort idiom restores a total order before
+            // anything is emitted; a `.sort` within the next three lines
+            // clears the finding.
+            let sorted_after = lines[lineno - 1..lineno.saturating_add(3).min(lines.len())]
+                .iter()
+                .any(|l| l.code.contains(".sort"));
+            if sorted_after {
+                continue;
+            }
+            let after = text[at + ident.len()..].trim_start();
+            let method = ITER_METHODS.iter().find(|m| after.starts_with(*m));
+            let for_loop = {
+                let before = text[..at].trim_end();
+                let before = before.strip_suffix('&').unwrap_or(before).trim_end();
+                before.ends_with(" in") && matches!(after.chars().next(), Some('{'))
+            };
+            if let Some(method) = method {
+                out.push((
+                    lineno,
+                    format!(
+                        "hash-container `{ident}`{method} iterates in hash order; sort \
+                         before emitting or waive with the ordering argument"
+                    ),
+                ));
+            } else if for_loop {
+                out.push((
+                    lineno,
+                    format!("`for … in {ident}` iterates a hash container in hash order"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// P001 — panic paths in decoder code
+// ---------------------------------------------------------------------------
+
+/// Flags `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`,
+/// `unimplemented!` and non-literal slice indexing. Indexing with a bare
+/// integer-literal index (`b[0]`) is allowed by design: in decoder code the
+/// bounds check is adjacent and constant (`bytes(4)?` then `b[3]`), and
+/// flagging those would bury the real hazards under waivers.
+fn check_p001(lines: &[SourceLine], skip_test: bool) -> Vec<(usize, String)> {
+    let (text, starts) = joined_code(lines);
+    let mut out = Vec::new();
+    for pat in [".unwrap()", ".expect("] {
+        for at in text_offsets(&text, pat) {
+            let lineno = line_of(&starts, at);
+            if !skip_line(lines, lineno, skip_test) {
+                out.push((
+                    lineno,
+                    format!(
+                        "`{}` can panic; decoder code must return a typed error",
+                        pat.trim_end_matches('(')
+                    ),
+                ));
+            }
+        }
+    }
+    for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+        for at in word_offsets(&text, mac.trim_end_matches('!')) {
+            if text[at..].chars().nth(mac.len() - 1) != Some('!') {
+                continue;
+            }
+            let lineno = line_of(&starts, at);
+            if !skip_line(lines, lineno, skip_test) {
+                out.push((lineno, format!("`{mac}` in decoder code")));
+            }
+        }
+    }
+    // Non-literal slice indexing: `expr[index]` where `index` is not a bare
+    // integer literal (or the full-range `..`).
+    let bytes: Vec<char> = text.chars().collect();
+    let char_offsets: Vec<usize> = text.char_indices().map(|(i, _)| i).collect();
+    for (ci, &c) in bytes.iter().enumerate() {
+        if c != '[' || ci == 0 {
+            continue;
+        }
+        let mut k = ci;
+        while k > 0 && bytes[k - 1].is_whitespace() {
+            k -= 1;
+        }
+        let prev = if k > 0 { bytes[k - 1] } else { ' ' };
+        let indexes_expr = is_ident_char(prev) || prev == ')' || prev == ']';
+        if !indexes_expr {
+            continue;
+        }
+        // `&'a [u8]` is a type, not an index: skip when the token before the
+        // bracket is a lifetime.
+        if is_ident_char(prev) {
+            let mut s = k;
+            while s > 0 && is_ident_char(bytes[s - 1]) {
+                s -= 1;
+            }
+            if s > 0 && bytes[s - 1] == '\'' {
+                continue;
+            }
+        }
+        // Find the matching `]`.
+        let mut depth = 1;
+        let mut cj = ci + 1;
+        while cj < bytes.len() && depth > 0 {
+            match bytes[cj] {
+                '[' => depth += 1,
+                ']' => depth -= 1,
+                _ => {}
+            }
+            cj += 1;
+        }
+        if depth != 0 {
+            continue;
+        }
+        let content: String = bytes[ci + 1..cj - 1].iter().collect();
+        let content = content.trim();
+        let literal = !content.is_empty() && content.chars().all(|c| c.is_ascii_digit() || c == '_');
+        if literal || content == ".." || content.is_empty() {
+            continue;
+        }
+        let lineno = line_of(&starts, char_offsets[ci]);
+        if !skip_line(lines, lineno, skip_test) {
+            out.push((
+                lineno,
+                format!("slice index `[{content}]` can panic; use `get`/`first`/`last` \
+                         or waive with the bounds argument"),
+            ));
+        }
+    }
+    out
+}
+
+/// Raw (non-word-boundary) occurrences of `pat`.
+fn text_offsets(text: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(pat) {
+        out.push(from + pos);
+        from = from + pos + pat.len();
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A001 — allocations sized by decoded integers
+// ---------------------------------------------------------------------------
+
+/// Flags `with_capacity(expr)` where `expr` is not an integer literal and no
+/// identifier in `expr` was bound from a `.count(…)` call earlier in the
+/// same function (`ByteReader::count` proves the input can back the
+/// allocation before it is sized).
+fn check_a001(lines: &[SourceLine], skip_test: bool) -> Vec<(usize, String)> {
+    let (text, starts) = joined_code(lines);
+    let mut out = Vec::new();
+    for at in text_offsets(&text, "with_capacity(") {
+        let lineno = line_of(&starts, at);
+        if skip_line(lines, lineno, skip_test) {
+            continue;
+        }
+        let open = at + "with_capacity(".len();
+        let mut depth = 1;
+        let mut j = open;
+        let bytes = text.as_bytes();
+        while j < bytes.len() && depth > 0 {
+            match bytes[j] {
+                b'(' => depth += 1,
+                b')' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let arg = text[open..j.saturating_sub(1)].trim();
+        if arg.chars().all(|c| c.is_ascii_digit() || c == '_') && !arg.is_empty() {
+            continue;
+        }
+        // Identifiers of the argument expression, checked against
+        // `let <ident> = … .count(…)` bindings above in the same function.
+        let idents: Vec<String> = split_idents(arg);
+        let fn_start = enclosing_fn_start(lines, lineno);
+        let checked = idents.iter().any(|ident| {
+            lines[fn_start..lineno].iter().any(|l| {
+                let code = l.code.trim_start();
+                code.starts_with("let ")
+                    && code.contains(".count(")
+                    && !word_offsets(&l.code, ident).is_empty()
+            })
+        });
+        if !checked {
+            out.push((
+                lineno,
+                format!(
+                    "`with_capacity({arg})` is not sized from a `count(…)`-checked value; \
+                     pre-check the length against the remaining input or waive with the \
+                     bounds argument"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn split_idents(expr: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in expr.chars().chain(std::iter::once(' ')) {
+        if is_ident_char(c) {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            let word = std::mem::take(&mut cur);
+            let keyword = matches!(
+                word.as_str(),
+                "as" | "usize" | "u64" | "u32" | "u16" | "u8" | "i64" | "i32" | "len" | "from"
+            ) || word.chars().next().is_some_and(|c| c.is_ascii_digit());
+            if !keyword && !out.contains(&word) {
+                out.push(word);
+            }
+        }
+    }
+    out
+}
+
+/// Index (0-based) of the `fn` line enclosing `lineno` (1-based), or 0.
+fn enclosing_fn_start(lines: &[SourceLine], lineno: usize) -> usize {
+    (0..lineno.saturating_sub(1))
+        .rev()
+        .find(|&i| {
+            let code = lines[i].code.trim_start();
+            code.starts_with("fn ")
+                || code.starts_with("pub fn ")
+                || code.starts_with("pub(crate) fn ")
+                || code.starts_with("pub(super) fn ")
+                || code.starts_with("async fn ")
+                || code.starts_with("const fn ")
+        })
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// T001 — wall-clock reads outside the bench timing layer
+// ---------------------------------------------------------------------------
+
+/// Flags `Instant::now` and `SystemTime` uses. `use` lines are exempt (the
+/// import is not the hazard, the read is).
+fn check_t001(lines: &[SourceLine], skip_test: bool) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if skip_test && line.in_test {
+            continue;
+        }
+        if line.code.trim_start().starts_with("use ") {
+            continue;
+        }
+        for pat in ["Instant::now", "SystemTime"] {
+            if !word_offsets(&line.code, pat.split("::").next().unwrap_or(pat)).is_empty()
+                && line.code.contains(pat)
+            {
+                out.push((
+                    idx + 1,
+                    format!(
+                        "`{pat}` outside the bench timing layer; wall-clock values must \
+                         never feed result bytes or digests"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// U001 — unsafe code
+// ---------------------------------------------------------------------------
+
+fn check_u001(lines: &[SourceLine]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        // `#![forbid(unsafe_code)]`-style attributes mention the word but
+        // *ban* the construct; only the keyword itself fires.
+        if !word_offsets(&line.code, "unsafe").is_empty() && !line.code.contains("unsafe_code") {
+            out.push((idx + 1, "`unsafe` is banned workspace-wide".to_string()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(rule_src: &str) -> Vec<Finding> {
+        check_file(&Config::default(), "x.rs", rule_src, false, Mode::AllRules)
+    }
+
+    #[test]
+    fn p001_fires_and_is_waivable() {
+        let src = "fn f(v: &[u8]) -> u8 {\n    v.first().copied().unwrap()\n}\n";
+        let found = check(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "P001");
+        assert_eq!(found[0].line, 2);
+
+        let src = "fn f(v: &[u8]) -> u8 {\n    // lint: allow(P001) caller guarantees non-empty\n    v.first().copied().unwrap()\n}\n";
+        assert!(check(src).is_empty(), "waived finding must be silent");
+    }
+
+    #[test]
+    fn reasonless_and_unused_waivers_fire_meta_rules() {
+        let src = "fn f() {\n    // lint: allow(P001)\n    let x = 1;\n}\n";
+        let found = check(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "W000");
+
+        let src = "fn f() {\n    // lint: allow(P001) stale reason\n    let x = 1;\n}\n";
+        let found = check(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "W001");
+    }
+
+    #[test]
+    fn p001_skips_literal_indexing_and_test_code() {
+        let src = "fn f(b: &[u8]) -> u8 { b[0] }\n#[cfg(test)]\nmod tests {\n    fn t(v: &[u8]) { v.last().unwrap(); }\n}\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn d001_needs_a_declared_hash_ident() {
+        let src = "fn f() {\n    let mut m = FxHashMap::default();\n    for (k, v) in m.iter() { emit(k, v); }\n}\n";
+        let found = check(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "D001");
+        assert_eq!(found[0].line, 3);
+
+        let src = "fn f() {\n    let mut m = FxHashMap::default();\n    m.insert(1, 2);\n    let _ = m.get(&1);\n}\n";
+        assert!(check(src).is_empty(), "keyed access is order-free");
+    }
+
+    #[test]
+    fn a001_accepts_count_checked_sizes() {
+        let ok = "fn d(r: &mut R) {\n    let n = r.count(\"xs\", 8)?;\n    let v = Vec::with_capacity(n);\n}\n";
+        assert!(check(ok).is_empty());
+        let bad = "fn d(r: &mut R) {\n    let n = r.u64()? as usize;\n    let v = Vec::with_capacity(n);\n}\n";
+        let found = check(bad);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "A001");
+    }
+
+    #[test]
+    fn t001_and_u001() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); unsafe { x() } }\n";
+        let found = check(src);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].rule, "T001");
+        assert_eq!(found[1].rule, "U001");
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "fn f() {\n    let s = \"x.unwrap() unsafe Instant::now\";\n    // x.unwrap() would panic\n}\n";
+        assert!(check(src).is_empty());
+    }
+}

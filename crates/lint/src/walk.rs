@@ -1,0 +1,87 @@
+//! Deterministic workspace walker: collects the `.rs` files a check run
+//! visits, in sorted order, with their workspace-relative paths.
+
+use std::path::{Path, PathBuf};
+
+use crate::config::{prefix_match, Config};
+
+/// One file the checker will visit.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute (or root-joined) path for reading.
+    pub abs: PathBuf,
+    /// Workspace-relative, `/`-separated path for reporting and matching.
+    pub rel: String,
+    /// Whether the file lives under a `tests/`, `benches/`, `examples/` or
+    /// `fixtures/` directory component (integration-test code).
+    pub in_test_dir: bool,
+}
+
+/// Directory names never descended into, independent of configuration.
+const ALWAYS_SKIP: [&str; 4] = [".git", "target", "vendor", "node_modules"];
+
+/// Collects every `.rs` file under `root`, sorted by relative path, skipping
+/// build output, vendored code and configured excludes.
+pub fn collect(root: &Path, config: &Config) -> std::io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let rel = relative(root, &path);
+            if path.is_dir() {
+                if ALWAYS_SKIP.contains(&name.as_str()) || excluded(config, &rel) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") && !excluded(config, &rel) {
+                let in_test_dir = rel
+                    .split('/')
+                    .any(|c| matches!(c, "tests" | "benches" | "examples" | "fixtures"));
+                out.push(SourceFile { abs: path, rel, in_test_dir });
+            }
+        }
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn excluded(config: &Config, rel: &str) -> bool {
+    config.exclude.iter().any(|p| prefix_match(p, rel))
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_crate_deterministically() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = collect(root, &Config::default()).expect("walk");
+        let rels: Vec<&str> = files.iter().map(|f| f.rel.as_str()).collect();
+        assert!(rels.contains(&"src/walk.rs"));
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(rels, sorted, "walk order must be sorted");
+        let fixtures: Vec<_> = files.iter().filter(|f| f.rel.contains("fixtures")).collect();
+        assert!(fixtures.iter().all(|f| f.in_test_dir));
+    }
+}

@@ -1,0 +1,75 @@
+//! The interleaving-model acceptance test: the `AdaptationCache` claim
+//! protocol, abstracted in `ust_lint::claim_model`, is exhaustively explored
+//! over every schedule of every faulty subset at 1–3 threads, with the
+//! explored-schedule counts pinned. A count change means the model (or the
+//! protocol abstraction it encodes) changed and must be re-reviewed against
+//! `ust_core::prepare::get_or_adapt`.
+
+use ust_lint::claim_model::{explore, verify_protocol, Mutation, MAX_THREADS};
+
+/// `(threads, faulty_mask, schedules)` for the faithful protocol. The counts
+/// are a fingerprint of the explored state space: all interleavings of the
+/// atomic steps, which only grow with extra claim/retry rounds caused by
+/// faulty (panicking) claimants.
+const PINNED_SCHEDULES: [(usize, u32, u64); 14] = [
+    (1, 0b000, 1),
+    (1, 0b001, 1),
+    (2, 0b000, 8),
+    (2, 0b001, 11),
+    (2, 0b010, 11),
+    (2, 0b011, 14),
+    (3, 0b000, 90),
+    (3, 0b001, 254),
+    (3, 0b010, 254),
+    (3, 0b011, 634),
+    (3, 0b100, 254),
+    (3, 0b101, 634),
+    (3, 0b110, 634),
+    (3, 0b111, 1230),
+];
+
+#[test]
+fn full_schedule_space_is_clean_and_counts_are_pinned() {
+    let reports = verify_protocol(MAX_THREADS);
+    assert_eq!(reports.len(), PINNED_SCHEDULES.len(), "one report per (threads, faulty) config");
+    for (report, &(threads, mask, schedules)) in reports.iter().zip(&PINNED_SCHEDULES) {
+        assert_eq!((report.threads, report.faulty_mask), (threads, mask));
+        assert!(
+            report.clean(),
+            "threads={threads} faulty={mask:#05b}: {:?}",
+            report.violations
+        );
+        assert_eq!(
+            report.schedules, schedules,
+            "explored-schedule count drifted for threads={threads} faulty={mask:#05b}"
+        );
+    }
+    let total: u64 = reports.iter().map(|r| r.schedules).sum();
+    assert_eq!(total, 4030, "total explored schedules across all configs");
+}
+
+#[test]
+fn checker_is_not_vacuous_broken_variants_are_caught() {
+    // Reintroducing the pre-claim check-then-recompute race must surface a
+    // duplicated adaptation on some schedule.
+    let stampede = explore(2, 0b00, Mutation::SplitCheckClaim);
+    assert!(!stampede.clean());
+
+    // Dropping either notify_all must surface a lost wakeup.
+    let lost_on_publish = explore(2, 0b00, Mutation::SkipPublishNotify);
+    assert!(lost_on_publish.violations.iter().any(|v| v.contains("lost wakeup")));
+    let lost_on_panic = explore(3, 0b001, Mutation::SkipPanicNotify);
+    assert!(lost_on_panic.violations.iter().any(|v| v.contains("lost wakeup")));
+}
+
+#[test]
+fn panic_only_configs_release_the_slot_for_nobody() {
+    // All-faulty configs must still terminate (no deadlock) with zero
+    // successful adaptations: each claimant panics once, releases the slot,
+    // and the last release leaves it empty.
+    for threads in 1..=MAX_THREADS {
+        let all_faulty = (1u32 << threads) - 1;
+        let report = explore(threads, all_faulty, Mutation::Faithful);
+        assert!(report.clean(), "{:?}", report.violations);
+    }
+}

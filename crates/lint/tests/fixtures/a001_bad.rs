@@ -1,0 +1,11 @@
+//! A001 negative fixture: allocation sized straight from a decoded integer.
+//! Findings pinned by `tests/rules_fixtures.rs` — keep line numbers stable.
+
+fn decode_list(r: &mut ByteReader<'_>) -> Result<Vec<u64>, StoreError> {
+    let n = r.u64()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u64()?);
+    }
+    Ok(out)
+}

@@ -1,0 +1,25 @@
+//! A001 positive fixture: allocations sized from a `count`-checked value, a
+//! literal, or carrying an explicit waiver. Must produce zero findings.
+
+fn decode_list(r: &mut ByteReader<'_>) -> Result<Vec<u64>, StoreError> {
+    let n = r.count("list entries", 8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u64()?);
+    }
+    Ok(out)
+}
+
+fn fixed_size() -> Vec<u8> {
+    Vec::with_capacity(4096)
+}
+
+fn waived_derived_size(r: &mut ByteReader<'_>) -> Result<Vec<u8>, StoreError> {
+    let span = r.u32()? as usize;
+    if span > r.remaining() {
+        return Err(StoreError::Truncated { context: "span" });
+    }
+    // lint: allow(A001) span is pre-checked against remaining() directly above
+    let out = Vec::with_capacity(span);
+    Ok(out)
+}

@@ -1,0 +1,18 @@
+//! D001 negative fixture: hash iteration reaching output with no sort.
+//! Findings pinned by `tests/rules_fixtures.rs` — keep line numbers stable.
+
+fn emit_in_hash_order(input: &[(u32, f64)]) -> Vec<(u32, f64)> {
+    let mut acc: FxHashMap<u32, f64> = FxHashMap::default();
+    for &(k, v) in input {
+        *acc.entry(k).or_insert(0.0) += v;
+    }
+    let mut out = Vec::new();
+    for (k, v) in acc.iter() {
+        out.push((*k, *v));
+    }
+    out
+}
+
+fn sum_in_hash_order(weights: FxHashSet<u64>) -> u64 {
+    weights.into_iter().sum()
+}

@@ -1,0 +1,28 @@
+//! D001 positive fixture: every hash-container use is order-free or sorted
+//! before anything escapes. Must produce zero findings.
+
+fn keyed_access_only(input: &[(u32, f64)]) -> Option<f64> {
+    let mut acc: FxHashMap<u32, f64> = FxHashMap::default();
+    for &(k, v) in input {
+        acc.insert(k, v);
+    }
+    acc.get(&7).copied()
+}
+
+fn drained_then_sorted(acc: FxHashMap<u32, f64>) -> Vec<(u32, f64)> {
+    let mut out: Vec<(u32, f64)> = acc.into_iter().collect();
+    out.sort_unstable_by_key(|&(k, _)| k);
+    out
+}
+
+fn shadowing_rebind(rows: Vec<(u32, f64)>) -> usize {
+    let rows: FxHashMap<u32, f64> = rows.into_iter().collect();
+    rows.len()
+}
+
+fn waived_in_place_update(acc: &mut FxHashMap<u32, f64>) {
+    // lint: allow(D001) per-entry in-place update; no cross-entry order dependence
+    for (_, v) in acc.iter_mut() {
+        *v *= 0.5;
+    }
+}

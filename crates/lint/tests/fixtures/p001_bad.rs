@@ -1,0 +1,22 @@
+//! P001 negative fixture: panic paths in decoder-style code.
+//! Findings pinned by `tests/rules_fixtures.rs` — keep line numbers stable.
+
+fn decode(buf: &[u8], at: usize) -> u32 {
+    let first = buf.first().copied().unwrap();
+    let tagged = buf.get(at).copied().expect("tag present");
+    if first == 0 {
+        panic!("zero tag");
+    }
+    let raw = buf[at + 1];
+    u32::from(first) + u32::from(tagged) + u32::from(raw)
+}
+
+fn reasonless_waiver(buf: &[u8]) -> u8 {
+    // lint: allow(P001)
+    buf.last().copied().unwrap()
+}
+
+fn stale_waiver(x: Option<u8>) -> bool {
+    // lint: allow(P001) nothing on this line can panic any more
+    x.is_some()
+}

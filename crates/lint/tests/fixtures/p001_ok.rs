@@ -1,0 +1,28 @@
+//! P001 positive fixture: decoder code with typed errors, literal indexing,
+//! waived infallible sites, and panicking *test* code (allowed). Must
+//! produce zero findings.
+
+fn decode(buf: &[u8]) -> Result<u32, String> {
+    if buf.len() < 4 {
+        return Err("truncated".to_string());
+    }
+    // Literal indices next to their constant bounds check are allowed.
+    Ok(u32::from(buf[0]) | (u32::from(buf[1]) << 8) | (u32::from(buf[2]) << 16))
+}
+
+fn waived_infallible(items: &[u32]) -> u32 {
+    if items.is_empty() {
+        return 0;
+    }
+    // lint: allow(P001) emptiness is checked two lines above
+    items.last().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Vec<u8> = vec![1, 2, 3];
+        assert_eq!(v.last().copied().unwrap(), 3);
+    }
+}

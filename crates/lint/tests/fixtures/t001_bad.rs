@@ -1,0 +1,11 @@
+//! T001 negative fixture: wall-clock reads outside the bench timing layer.
+//! Findings pinned by `tests/rules_fixtures.rs` — keep line numbers stable.
+
+fn stamp_result(out: &mut Vec<u8>) {
+    let started = Instant::now();
+    out.push(0);
+    let elapsed = started.elapsed().as_nanos() as u8;
+    out.push(elapsed);
+    let wall = SystemTime::now();
+    let _ = wall;
+}

@@ -1,0 +1,26 @@
+//! T001 positive fixture: importing the types is fine, reading the clock in
+//! test code is fine, and a waived observability read is fine. Must produce
+//! zero findings.
+
+use std::time::{Duration, Instant};
+
+fn pure(d: Duration) -> u128 {
+    d.as_nanos()
+}
+
+fn waived_observability() -> Duration {
+    // lint: allow(T001) load-time metadata reported next to the result, never inside it
+    let t = Instant::now();
+    t.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_in_tests_is_allowed() {
+        let t = Instant::now();
+        assert!(pure(t.elapsed()) < u128::MAX);
+    }
+}

@@ -1,0 +1,15 @@
+//! U001 negative fixture: `unsafe` is banned everywhere, even in tests.
+//! Findings pinned by `tests/rules_fixtures.rs` — keep line numbers stable.
+
+fn reinterpret(x: u64) -> f64 {
+    unsafe { std::mem::transmute(x) }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn even_tests_may_not_use_unsafe() {
+        let p = &7u8 as *const u8;
+        let _ = unsafe { *p };
+    }
+}

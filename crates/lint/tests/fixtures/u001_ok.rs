@@ -1,0 +1,9 @@
+//! U001 positive fixture: mentioning `unsafe` in comments, strings, or the
+//! `unsafe_code` lint name is not using it. Must produce zero findings.
+
+// The word unsafe in a comment is fine.
+#![forbid(unsafe_code)]
+
+fn describe() -> &'static str {
+    "this crate contains no unsafe blocks"
+}

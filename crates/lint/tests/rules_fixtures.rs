@@ -1,0 +1,64 @@
+//! Fixture-corpus tests: one negative/positive pair per rule, with every
+//! expected finding pinned to its exact rule ID and line (the same style as
+//! the generator's `tdrive_golden.rs`). The negative fixtures are the CI
+//! known-bad inputs; the positive fixtures prove the rules accept the
+//! idioms the workspace actually uses (typed errors, drain-then-sort,
+//! literal indexing, waivers).
+
+use std::path::PathBuf;
+
+use ust_lint::check_file_all_rules;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+/// Asserts `name` produces exactly `expected` as `(rule, line)` pairs.
+fn assert_findings(name: &str, expected: &[(&str, usize)]) {
+    let findings = check_file_all_rules(&fixture(name), name).expect("fixture readable");
+    let got: Vec<(String, usize)> =
+        findings.iter().map(|f| (f.rule.clone(), f.line)).collect();
+    let want: Vec<(String, usize)> =
+        expected.iter().map(|&(r, l)| (r.to_string(), l)).collect();
+    assert_eq!(got, want, "findings for {name}: {findings:#?}");
+}
+
+#[test]
+fn d001_unordered_hash_iteration() {
+    assert_findings("d001_bad.rs", &[("D001", 10), ("D001", 17)]);
+    assert_findings("d001_ok.rs", &[]);
+}
+
+#[test]
+fn p001_panic_paths_in_decoder_code() {
+    assert_findings(
+        "p001_bad.rs",
+        &[
+            ("P001", 5),
+            ("P001", 6),
+            ("P001", 8),
+            ("P001", 10),
+            ("W000", 15),
+            ("W001", 20),
+        ],
+    );
+    assert_findings("p001_ok.rs", &[]);
+}
+
+#[test]
+fn a001_unchecked_allocation_sizes() {
+    assert_findings("a001_bad.rs", &[("A001", 6)]);
+    assert_findings("a001_ok.rs", &[]);
+}
+
+#[test]
+fn t001_wall_clock_reads() {
+    assert_findings("t001_bad.rs", &[("T001", 5), ("T001", 9)]);
+    assert_findings("t001_ok.rs", &[]);
+}
+
+#[test]
+fn u001_unsafe_even_in_tests() {
+    assert_findings("u001_bad.rs", &[("U001", 5), ("U001", 13)]);
+    assert_findings("u001_ok.rs", &[]);
+}

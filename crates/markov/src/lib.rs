@@ -26,9 +26,6 @@
 //! * [`dense`] — a small dense reference implementation of Algorithm 2 used to
 //!   cross-check the sparse code in tests and as an ablation baseline.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod adapt;
 pub mod dense;
 pub mod model;

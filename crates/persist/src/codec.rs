@@ -251,12 +251,15 @@ pub(crate) fn encode_adapted(w: &mut ByteWriter, m: &AdaptedModel) {
         w.u32(s);
     }
     for t in m.start()..=m.end() {
+        // lint: allow(P001) encode side: t iterates the model's own [start, end] range
         encode_dist(w, m.forward_at(t).expect("t inside the covered interval"));
     }
     for t in m.start()..=m.end() {
+        // lint: allow(P001) encode side: t iterates the model's own [start, end] range
         encode_dist(w, m.posterior_at(t).expect("t inside the covered interval"));
     }
     for t in m.start()..m.end() {
+        // lint: allow(P001) encode side: t iterates the model's own [start, end) range
         encode_table(w, m.transition_table(t).expect("t inside [start, end)"));
     }
 }
@@ -284,8 +287,9 @@ pub(crate) fn decode_adapted(
         }
         observations.push((t, s));
     }
-    let start = observations[0].0;
-    let end = observations[observations.len() - 1].0;
+    let Some((&(start, _), &(end, _))) = observations.first().zip(observations.last()) else {
+        return Err(StoreError::Malformed { context: "adapted model has no observations" });
+    };
     let horizon = (end - start) as u64;
     // The marginal and table vectors are sized from the observation span, not
     // from a stored count — prove the input can back them (each marginal and
@@ -298,14 +302,17 @@ pub(crate) fn decode_adapted(
         });
     }
     let horizon = horizon as usize;
+    // lint: allow(A001) horizon is pre-checked against remaining() by the min_needed guard above
     let mut forward = Vec::with_capacity(horizon + 1);
     for _ in 0..=horizon {
         forward.push(decode_dist(r, num_states)?);
     }
+    // lint: allow(A001) horizon is pre-checked against remaining() by the min_needed guard above
     let mut posterior = Vec::with_capacity(horizon + 1);
     for _ in 0..=horizon {
         posterior.push(decode_dist(r, num_states)?);
     }
+    // lint: allow(A001) horizon is pre-checked against remaining() by the min_needed guard above
     let mut transitions = Vec::with_capacity(horizon);
     for _ in 0..horizon {
         transitions.push(decode_table(r, num_states)?);
@@ -417,7 +424,7 @@ fn encode_rect2(w: &mut ByteWriter, rect: &Rect2) {
 fn decode_rect2(r: &mut ByteReader<'_>) -> Result<Rect2, StoreError> {
     let min = [r.f64()?, r.f64()?];
     let max = [r.f64()?, r.f64()?];
-    let valid = (0..2).all(|i| min[i].is_finite() && max[i].is_finite() && min[i] <= max[i]);
+    let valid = min.iter().zip(&max).all(|(lo, hi)| lo.is_finite() && hi.is_finite() && lo <= hi);
     if !valid {
         return Err(StoreError::Malformed { context: "diamond rectangle" });
     }

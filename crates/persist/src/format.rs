@@ -156,7 +156,13 @@ impl<'a> ByteReader<'a> {
         if self.remaining() < n {
             return Err(StoreError::Truncated { context: self.context });
         }
-        let out = &self.buf[self.pos..self.pos + n];
+        // The check above proves the range is in bounds (and pos + n cannot
+        // overflow); `get` keeps the read panic-free even if a future edit
+        // breaks that invariant.
+        let out = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or(StoreError::Truncated { context: self.context })?;
         self.pos += n;
         Ok(out)
     }

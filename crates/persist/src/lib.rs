@@ -37,9 +37,6 @@
 //! crate serializes the *engine state itself*. The two formats share nothing
 //! but the FNV digest primitive.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod codec;
 pub mod error;
 pub mod format;

@@ -27,9 +27,6 @@
 //! and [`hoeffding`] provides the sample-size / confidence bounds the paper
 //! refers to (\[29\]).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod hoeffding;
 pub mod posterior;
 pub mod rejection;

@@ -21,9 +21,6 @@
 //! Everything in this crate is deterministic and purely geometric; all
 //! probabilistic machinery lives in `ust-markov` and above.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod point;
 pub mod rect;
 pub mod rtree;

@@ -23,9 +23,6 @@
 //!   (Section 5.2.3: "On each such (certain) world an existing solution for
 //!   NN search on certain trajectories is applied").
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod certain;
 pub mod database;
 pub mod nn;

@@ -23,8 +23,6 @@
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and `DESIGN.md`
 //! for the architecture and the per-experiment index.
 
-#![forbid(unsafe_code)]
-
 pub use ust_core as core;
 pub use ust_generator as generator;
 pub use ust_index as index;
