@@ -47,6 +47,13 @@ pub struct RunSettings {
     /// without store support reject it via
     /// [`RunSettings::reject_store_flag`].
     pub store_path: Option<String>,
+    /// Per-query deadline in milliseconds (fig06/fig08/fig09 only). Each
+    /// measured query runs under a [`ust_core::QueryBudget`] with this
+    /// deadline; a breach during the filter or TS phase is a typed error that
+    /// aborts the figure with exit code 2, a breach during sampling degrades
+    /// (fewer worlds, recorded in the report meta). Binaries without budget
+    /// support reject it via [`RunSettings::reject_deadline_flag`].
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for RunSettings {
@@ -60,6 +67,7 @@ impl Default for RunSettings {
             csv_path: None,
             objects: None,
             store_path: None,
+            deadline_ms: None,
         }
     }
 }
@@ -94,6 +102,29 @@ impl RunSettings {
                 "{binary} does not support --store; only fig06_vary_states and \
                  fig08_vary_objects exercise the on-disk store round trip"
             ));
+        }
+    }
+
+    /// Aborts with a usage error if `--deadline-ms` was given to a binary
+    /// that does not run its queries under a budget — only the efficiency
+    /// figures (fig06/fig08/fig09) do, and silently ignoring the flag would
+    /// let the user believe the reported timings were deadline-bounded.
+    pub fn reject_deadline_flag(&self, binary: &str) {
+        if self.deadline_ms.is_some() {
+            usage_and_exit(&format!(
+                "{binary} does not support --deadline-ms; only the efficiency figures \
+                 (fig06/fig08/fig09) run queries under a budget"
+            ));
+        }
+    }
+
+    /// The [`ust_core::QueryBudget`] the efficiency figures run each query
+    /// under: deadline-only when `--deadline-ms` was given, unlimited
+    /// otherwise.
+    pub fn query_budget(&self) -> ust_core::QueryBudget {
+        match self.deadline_ms {
+            Some(ms) => ust_core::QueryBudget::default().with_deadline_ms(ms),
+            None => ust_core::QueryBudget::default(),
         }
     }
 
@@ -147,6 +178,12 @@ impl RunSettings {
                         usage_and_exit("--store requires a path argument");
                     }
                 }
+                "--deadline-ms" => match iter.next().and_then(|s| s.parse().ok()) {
+                    Some(ms) => settings.deadline_ms = Some(ms),
+                    None => usage_and_exit(
+                        "--deadline-ms requires an integer argument (milliseconds per query)",
+                    ),
+                },
                 // `cargo bench` appends `--bench` to every harness = false
                 // bench target (the `index_build` report bench parses these
                 // settings); accept and ignore it.
@@ -166,7 +203,7 @@ fn usage_and_exit(message: &str) -> ! {
     eprintln!(
         "usage: <figure binary> [--quick | --paper-scale | --scale <quick|default|paper>] \
          [--seed N] [--threads N] [--build-threads N] [--json <path>] [--csv <path>] \
-         [--objects N] [--store <path>]"
+         [--objects N] [--store <path>] [--deadline-ms N]"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
@@ -234,6 +271,16 @@ mod tests {
         let s = parse(&["--store", "/tmp/fig08.ustore"]);
         assert_eq!(s.store_path.as_deref(), Some("/tmp/fig08.ustore"));
         assert_eq!(parse(&[]).store_path, None);
+    }
+
+    #[test]
+    fn deadline_flag() {
+        let s = parse(&["--deadline-ms", "250"]);
+        assert_eq!(s.deadline_ms, Some(250));
+        assert!(!s.query_budget().is_unlimited());
+        let s = parse(&[]);
+        assert_eq!(s.deadline_ms, None);
+        assert!(s.query_budget().is_unlimited());
     }
 
     #[test]

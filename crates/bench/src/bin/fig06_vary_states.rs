@@ -14,7 +14,8 @@
 //! match the fresh engine's; store size and load time land in the meta.
 
 use ust_bench::datasets::{build_queries, build_synthetic, ScaleParams};
-use ust_bench::efficiency::{measure_efficiency_on, measure_ts_phase};
+use ust_bench::efficiency::{measure_ts_phase, try_measure_efficiency_on};
+use ust_bench::errors::exit_failure;
 use ust_bench::storecheck::store_roundtrip_check;
 use ust_bench::{ExperimentReport, Row, RunScale, RunSettings};
 use ust_core::prepare::resolve_adaptation_threads;
@@ -23,6 +24,7 @@ use ust_core::{EngineConfig, QueryEngine};
 fn main() {
     let settings = RunSettings::from_env();
     settings.reject_ingest_flags("fig06_vary_states");
+    let budget = settings.query_budget();
     let params = ScaleParams::for_scale(settings.scale);
     let threads = resolve_adaptation_threads(settings.adaptation_threads.unwrap_or(0));
     let build_threads = settings.build_threads.unwrap_or(0);
@@ -41,6 +43,9 @@ fn main() {
     )
     .with_meta("adaptation_threads", threads as f64)
     .with_meta("index_build_threads", ust_index::par::resolve_threads(build_threads) as f64);
+    if let Some(ms) = settings.deadline_ms {
+        report.set_meta("deadline_ms", ms as f64);
+    }
     for n in sweep {
         eprintln!("[fig06] N = {n} (TS threads: {threads})");
         let dataset = build_synthetic(&params, n, params.branching, params.num_objects, settings.seed);
@@ -55,12 +60,19 @@ fn main() {
             index_build_threads: build_threads,
             ..Default::default()
         };
-        let engine = QueryEngine::new(&dataset.database, config);
+        let engine = QueryEngine::new(&dataset.database, config.clone());
         let build = *engine.index_build_stats().expect("filter step enabled");
         report.set_meta(format!("index_build_seconds_n{n}"), build.build_time.as_secs_f64());
         report.set_meta(format!("reach_memo_hits_n{n}"), build.reach_memo_hits as f64);
         let ts_serial = measure_ts_phase(&engine, &queries, 1);
-        let m = measure_efficiency_on(&engine, &queries);
+        let m = match try_measure_efficiency_on(&engine, &queries, &budget) {
+            Ok(m) => m,
+            Err(error) => exit_failure("fig06_vary_states", "query budget breached", &error),
+        };
+        report.set_meta(format!("budget_checkpoints_n{n}"), m.budget_checkpoints);
+        report.set_meta(format!("worlds_sampled_n{n}"), m.worlds_sampled);
+        report.set_meta(format!("worlds_requested_n{n}"), m.worlds_requested);
+        report.set_meta(format!("degraded_queries_n{n}"), m.degraded_queries as f64);
         if let Some(base) = &settings.store_path {
             store_roundtrip_check(
                 "fig06_vary_states",

@@ -14,7 +14,8 @@
 //! match the fresh engine's; store size and load time land in the meta.
 
 use ust_bench::datasets::{build_queries, build_synthetic, ScaleParams};
-use ust_bench::efficiency::measure_efficiency_on;
+use ust_bench::efficiency::try_measure_efficiency_on;
+use ust_bench::errors::exit_failure;
 use ust_bench::storecheck::store_roundtrip_check;
 use ust_bench::{ExperimentReport, Row, RunScale, RunSettings};
 use ust_core::prepare::resolve_adaptation_threads;
@@ -23,6 +24,7 @@ use ust_core::{EngineConfig, QueryEngine};
 fn main() {
     let settings = RunSettings::from_env();
     settings.reject_ingest_flags("fig08_vary_objects");
+    let budget = settings.query_budget();
     let params = ScaleParams::for_scale(settings.scale);
     // The paper's TS series is a *serial* adaptation time, so this figure
     // defaults to one TS worker for comparability across machines; parallel
@@ -45,6 +47,9 @@ fn main() {
     )
     .with_meta("adaptation_threads", threads as f64)
     .with_meta("index_build_threads", ust_index::par::resolve_threads(build_threads) as f64);
+    if let Some(ms) = settings.deadline_ms {
+        report.set_meta("deadline_ms", ms as f64);
+    }
     for d in sweep {
         eprintln!("[fig08] |D| = {d}");
         let dataset = build_synthetic(&params, params.num_states, params.branching, d, settings.seed);
@@ -56,9 +61,16 @@ fn main() {
             index_build_threads: build_threads,
             ..Default::default()
         };
-        let engine = QueryEngine::new(&dataset.database, config);
+        let engine = QueryEngine::new(&dataset.database, config.clone());
         let build = *engine.index_build_stats().expect("filter step enabled");
-        let m = measure_efficiency_on(&engine, &queries);
+        let m = match try_measure_efficiency_on(&engine, &queries, &budget) {
+            Ok(m) => m,
+            Err(error) => exit_failure("fig08_vary_objects", "query budget breached", &error),
+        };
+        report.set_meta(format!("budget_checkpoints_d{d}"), m.budget_checkpoints);
+        report.set_meta(format!("worlds_sampled_d{d}"), m.worlds_sampled);
+        report.set_meta(format!("worlds_requested_d{d}"), m.worlds_requested);
+        report.set_meta(format!("degraded_queries_d{d}"), m.degraded_queries as f64);
         if let Some(base) = &settings.store_path {
             store_roundtrip_check(
                 "fig08_vary_objects",

@@ -20,7 +20,7 @@
 //!   series: TS/FA/EX CPU times and |C(q)|/|I(q)|.
 
 use ust_bench::datasets::{build_queries, build_taxi, ScaleParams};
-use ust_bench::efficiency::measure_efficiency;
+use ust_bench::efficiency::try_measure_efficiency;
 use ust_bench::errors::{exit_failure, report_skipped_rows};
 use ust_bench::ingest::{ingest_taxi_path, take_objects, IngestedTaxi};
 use ust_bench::{ExperimentReport, Row, RunScale, RunSettings};
@@ -64,13 +64,30 @@ fn run_simulated(settings: &RunSettings, params: &ScaleParams, threads: usize) -
          (paper: Figure 9; series TS/FA/EX in seconds, |C(q)|/|I(q)| in objects)",
     )
     .with_meta("adaptation_threads", threads as f64);
+    let budget = settings.query_budget();
+    if let Some(ms) = settings.deadline_ms {
+        report.set_meta("deadline_ms", ms as f64);
+    }
     // `--objects N` pins the sweep in simulated mode too, mirroring --csv.
     let sweep = settings.objects.map_or_else(|| default_sweep(settings.scale), |n| vec![n]);
     for d in sweep {
         eprintln!("[fig09] |D| = {d}");
         let dataset = build_taxi(params, d, settings.seed);
         let queries = build_queries(&dataset, params, settings.seed);
-        let m = measure_efficiency(&dataset, &queries, params.num_samples, settings.seed, threads);
+        let m = match try_measure_efficiency(
+            &dataset,
+            &queries,
+            params.num_samples,
+            settings.seed,
+            threads,
+            &budget,
+        ) {
+            Ok(m) => m,
+            Err(error) => exit_failure(BINARY, "query budget breached", &error),
+        };
+        report.set_meta(format!("budget_checkpoints_d{d}"), m.budget_checkpoints);
+        report.set_meta(format!("worlds_sampled_d{d}"), m.worlds_sampled);
+        report.set_meta(format!("degraded_queries_d{d}"), m.degraded_queries as f64);
         report.push(
             Row::new(format!("|D|={d}"))
                 .with("TS", m.ts_seconds)
@@ -138,6 +155,10 @@ fn run_ingested(
     .with_meta("ingested_observations", summary.observations as f64)
     .with_meta("mean_observations", summary.mean_observations())
     .with_meta("dropped_fixes", ingested.match_stats.dropped_fixes() as f64);
+    let budget = settings.query_budget();
+    if let Some(ms) = settings.deadline_ms {
+        report.set_meta("deadline_ms", ms as f64);
+    }
     for d in sweep {
         eprintln!("[fig09] |D| = {d}");
         let database = match take_objects(&ingested.dataset.database, d) {
@@ -157,7 +178,20 @@ fn run_ingested(
             ground_truth: Default::default(),
         };
         let queries = build_queries(&dataset, params, settings.seed);
-        let m = measure_efficiency(&dataset, &queries, params.num_samples, settings.seed, threads);
+        let m = match try_measure_efficiency(
+            &dataset,
+            &queries,
+            params.num_samples,
+            settings.seed,
+            threads,
+            &budget,
+        ) {
+            Ok(m) => m,
+            Err(error) => exit_failure(BINARY, "query budget breached", &error),
+        };
+        report.set_meta(format!("budget_checkpoints_d{d}"), m.budget_checkpoints);
+        report.set_meta(format!("worlds_sampled_d{d}"), m.worlds_sampled);
+        report.set_meta(format!("degraded_queries_d{d}"), m.degraded_queries as f64);
         report.push(
             Row::new(format!("|D|={d}"))
                 .with("TS", m.ts_seconds)

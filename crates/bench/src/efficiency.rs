@@ -11,7 +11,7 @@
 //! * **|C(q)|** and **|I(q)|** — the candidate and influence set sizes after
 //!   UST-tree pruning.
 
-use ust_core::{EngineConfig, Query, QueryEngine};
+use ust_core::{EngineConfig, Query, QueryBudget, QueryEngine, QueryError};
 use ust_generator::{Dataset, QueryWorkload};
 
 /// Averaged efficiency measurements over a query workload.
@@ -41,6 +41,18 @@ pub struct EfficiencyOutcome {
     /// the same data at any thread count must produce the same digest — the
     /// determinism witness of the real-data (`--csv`) harness.
     pub digest: u64,
+    /// Mean number of budget checkpoints polled per query pair (P∀NN + P∃NN)
+    /// — the governance-overhead observability of `QueryStats`.
+    pub budget_checkpoints: f64,
+    /// Mean number of worlds actually sampled per P∀NNQ. Equals the
+    /// configured sample count unless a deadline or `max_worlds` cap degraded
+    /// the run.
+    pub worlds_sampled: f64,
+    /// Mean number of worlds each P∀NNQ asked for.
+    pub worlds_requested: f64,
+    /// Number of query evaluations (P∀NN and P∃NN counted separately) that
+    /// completed degraded — fewer worlds than requested — instead of failing.
+    pub degraded_queries: usize,
 }
 
 /// Folds one 64-bit word into an FNV-1a digest. The one digest primitive of
@@ -70,24 +82,59 @@ pub fn measure_efficiency(
     seed: u64,
     adaptation_threads: usize,
 ) -> EfficiencyOutcome {
+    try_measure_efficiency(
+        dataset,
+        workload,
+        num_samples,
+        seed,
+        adaptation_threads,
+        &QueryBudget::default(),
+    )
+    .expect("query evaluation succeeds under an unlimited budget")
+}
+
+/// [`measure_efficiency`] with every query pair run under `budget` (see
+/// [`try_measure_efficiency_on`] for the breach semantics).
+pub fn try_measure_efficiency(
+    dataset: &Dataset,
+    workload: &QueryWorkload,
+    num_samples: usize,
+    seed: u64,
+    adaptation_threads: usize,
+    budget: &QueryBudget,
+) -> Result<EfficiencyOutcome, QueryError> {
     let config = EngineConfig { num_samples, seed, adaptation_threads, ..Default::default() };
     let engine = QueryEngine::new(&dataset.database, config);
-    measure_efficiency_on(&engine, workload)
+    try_measure_efficiency_on(&engine, workload, budget)
 }
 
 /// [`measure_efficiency`] over an existing engine (so the UST-tree built at
 /// engine construction can be shared with other measurements on the same
 /// dataset). The model cache is cleared before every P∀NNQ.
 pub fn measure_efficiency_on(engine: &QueryEngine, workload: &QueryWorkload) -> EfficiencyOutcome {
+    try_measure_efficiency_on(engine, workload, &QueryBudget::default())
+        .expect("query evaluation succeeds under an unlimited budget")
+}
+
+/// [`measure_efficiency_on`] with every query pair run under `budget`. A
+/// budget breach the engine cannot absorb by degrading (deadline during the
+/// filter or TS phase, exhausted caps) surfaces as the typed [`QueryError`];
+/// sampling-phase deadline breaches degrade instead and are tallied in
+/// [`EfficiencyOutcome::degraded_queries`].
+pub fn try_measure_efficiency_on(
+    engine: &QueryEngine,
+    workload: &QueryWorkload,
+    budget: &QueryBudget,
+) -> Result<EfficiencyOutcome, QueryError> {
     let mut out = EfficiencyOutcome { digest: FNV_OFFSET, ..Default::default() };
     for spec in &workload.queries {
         let query = Query::at_point(spec.location, spec.times.iter().copied())
             .expect("workload queries are well-formed");
         // Cold model cache: the adaptation time of this query is the TS phase.
         engine.clear_model_cache();
-        let forall = engine.pforall_nn(&query, 0.0).expect("query evaluation succeeds");
+        let forall = engine.pforall_nn_with_budget(&query, 0.0, budget)?;
         // Warm cache: the P∃NNQ measures only the sampling/refinement cost.
-        let exists = engine.pexists_nn(&query, 0.0).expect("query evaluation succeeds");
+        let exists = engine.pexists_nn_with_budget(&query, 0.0, budget)?;
         for outcome in [&forall, &exists] {
             out.digest = fnv_fold(out.digest, outcome.stats.candidates as u64);
             out.digest = fnv_fold(out.digest, outcome.stats.influencers as u64);
@@ -103,6 +150,12 @@ pub fn measure_efficiency_on(engine: &QueryEngine, workload: &QueryWorkload) -> 
         out.influencers += forall.stats.influencers as f64;
         out.cache_hits += forall.stats.cache_hits as f64;
         out.cold_adaptations += forall.stats.cold_adaptations as f64;
+        out.budget_checkpoints +=
+            (forall.stats.budget_checkpoints + exists.stats.budget_checkpoints) as f64;
+        out.worlds_sampled += forall.stats.worlds as f64;
+        out.worlds_requested += forall.stats.worlds_requested as f64;
+        out.degraded_queries +=
+            usize::from(forall.stats.degraded) + usize::from(exists.stats.degraded);
         out.queries += 1;
     }
     if out.queries > 0 {
@@ -114,8 +167,11 @@ pub fn measure_efficiency_on(engine: &QueryEngine, workload: &QueryWorkload) -> 
         out.influencers /= n;
         out.cache_hits /= n;
         out.cold_adaptations /= n;
+        out.budget_checkpoints /= n;
+        out.worlds_sampled /= n;
+        out.worlds_requested /= n;
     }
-    out
+    Ok(out)
 }
 
 /// Measures *only* the TS phase over a query workload: per query, the cache

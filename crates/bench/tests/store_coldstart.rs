@@ -35,7 +35,7 @@ fn cold_started_engine_answers_byte_identically() {
             index_build_threads: 1,
             ..Default::default()
         };
-        let fresh = QueryEngine::new(&dataset.database, config);
+        let fresh = QueryEngine::new(&dataset.database, config.clone());
         let fresh_m = measure_efficiency_on(&fresh, &queries);
         assert_ne!(fresh_m.digest, 0);
 
@@ -81,12 +81,12 @@ fn cold_started_engine_without_index_still_matches() {
         use_index: false,
         ..Default::default()
     };
-    let fresh = QueryEngine::new(&dataset.database, config);
+    let fresh = QueryEngine::new(&dataset.database, config.clone());
     let fresh_m = measure_efficiency_on(&fresh, &queries);
 
     // Save from an indexed engine so the store genuinely carries a TREE
     // section that the cold start then has to skip.
-    let indexed = QueryEngine::new(&dataset.database, EngineConfig { use_index: true, ..config });
+    let indexed = QueryEngine::new(&dataset.database, EngineConfig { use_index: true, ..config.clone() });
     let path = store_path("noindex");
     let written = indexed.save_store(&path).expect("save succeeds");
     assert!(written.sections >= 2, "the store must carry the tree being skipped");

@@ -17,9 +17,12 @@
 //!    averaging over worlds yields the probability estimates that are
 //!    compared against `τ`.
 
-use crate::pcnn::{vertical_timesets, PcnnConfig, PcnnResult, WorldSet};
+use crate::govern::{
+    BudgetGauge, QueryBudget, QueryPhase, Verdict, FILTER_CHECK_INTERVAL, WORLD_CHECK_INTERVAL,
+};
+use crate::pcnn::{vertical_timesets_governed, PcnnConfig, PcnnResult, WorldSet};
 use crate::prepare::{
-    adapt_batch, parallel_map_ordered, AdaptationCache, CacheStats, PrepareOutcome,
+    adapt_batch_governed, parallel_map_ordered, AdaptationCache, CacheStats, PrepareOutcome,
 };
 use crate::query::{Query, QueryError};
 use crate::results::{ObjectProbability, PcnnObjectResult, PcnnOutcome, QueryOutcome, QueryStats};
@@ -36,7 +39,10 @@ use ust_spatial::Point;
 use ust_trajectory::TrajectoryDatabase;
 
 /// Configuration of the query engine.
-#[derive(Debug, Clone, Copy)]
+///
+/// Not `Copy` since the governance work: the [`QueryBudget`] can hold an
+/// [`Arc`]-backed cancel token. Clone it where a second owned copy is needed.
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Number of possible worlds sampled per query (the paper uses 10 000
     /// samples per object).
@@ -68,6 +74,11 @@ pub struct EngineConfig {
     /// [`ust_index::UstTreeConfig::build_threads`]); only build wall-clock
     /// time changes.
     pub index_build_threads: usize,
+    /// The [`QueryBudget`] every evaluation on this engine runs under by
+    /// default. The default is unlimited — exactly the pre-governance
+    /// behaviour. The `*_with_budget` entry points override it per call; the
+    /// degradation contract is documented in [`crate::govern`].
+    pub budget: QueryBudget,
 }
 
 impl Default for EngineConfig {
@@ -80,6 +91,7 @@ impl Default for EngineConfig {
             adaptation_threads: 0,
             pcnn_threads: 0,
             index_build_threads: 0,
+            budget: QueryBudget::default(),
         }
     }
 }
@@ -106,6 +118,13 @@ impl EngineConfig {
     /// overridden (builder style).
     pub fn with_index_build_threads(self, index_build_threads: usize) -> Self {
         EngineConfig { index_build_threads, ..self }
+    }
+
+    /// Returns the configuration with the default query budget overridden
+    /// (builder style).
+    #[must_use]
+    pub fn with_budget(self, budget: QueryBudget) -> Self {
+        EngineConfig { budget, ..self }
     }
 }
 
@@ -259,6 +278,10 @@ impl<'a> QueryEngine<'a> {
     /// Runs the forward–backward adaptation of one object, bypassing the
     /// cache. This is the closure handed to the anti-stampede slots.
     fn adapt_uncached(&self, id: ObjectId) -> Result<AdaptedModel, QueryError> {
+        // Chaos hook: lets the chaos suite crash a live adaptation worker and
+        // prove the claim-release path with real threads (see tests/chaos.rs
+        // at the workspace root). Disarmed, this is one relaxed atomic load.
+        ust_fault::panic_point("core.adapt.worker");
         let object = self.db.object(id).ok_or(QueryError::UnknownObject { object: id })?;
         let model = self.db.model_for(id);
         ModelAdaptation::new()
@@ -296,6 +319,21 @@ impl<'a> QueryEngine<'a> {
         ids: &[ObjectId],
         threads: usize,
     ) -> Result<PrepareOutcome, QueryError> {
+        let gauge = self.config.budget.start();
+        self.prepare_objects_governed(ids, threads, &gauge)
+    }
+
+    /// The TS phase under an already-started [`BudgetGauge`]: every worker
+    /// polls the gauge once per cold object before adapting, so a cancel or
+    /// deadline breach surfaces as a typed error without poisoning the cache
+    /// (transient errors release the anti-stampede claim instead of being
+    /// cached, see [`AdaptationCache::get_or_adapt`]).
+    fn prepare_objects_governed(
+        &self,
+        ids: &[ObjectId],
+        threads: usize,
+        gauge: &BudgetGauge,
+    ) -> Result<PrepareOutcome, QueryError> {
         let mut slots: Vec<Option<Arc<AdaptedModel>>> = Vec::new();
         slots.resize_with(ids.len(), || None);
         let mut cold: Vec<(usize, ObjectId)> = Vec::new();
@@ -311,9 +349,13 @@ impl<'a> QueryEngine<'a> {
             let cold_ids: Vec<ObjectId> = cold.iter().map(|&(_, id)| id).collect();
             // lint: allow(T001) cold_time is QueryStats observability; it never feeds results
             let start = Instant::now();
-            let results = adapt_batch(&self.cache, &cold_ids, threads, |id| {
-                self.adapt_uncached(id)
-            });
+            let results = adapt_batch_governed(
+                &self.cache,
+                &cold_ids,
+                threads,
+                |id| self.adapt_uncached(id),
+                gauge,
+            );
             cold_time = start.elapsed();
             for (&(i, _), result) in cold.iter().zip(results) {
                 let (model, was_cold) = result?;
@@ -357,15 +399,44 @@ impl<'a> QueryEngine<'a> {
         query: &Query,
         k: usize,
     ) -> Result<(Vec<ObjectId>, Vec<ObjectId>), QueryError> {
+        let gauge = self.config.budget.start();
+        self.filter_knn_governed(query, k, &gauge)
+    }
+
+    /// The filter step under an already-started [`BudgetGauge`]: one
+    /// query-start checkpoint (where a zero deadline or an already-cancelled
+    /// token trips deterministically, before any phase runs), one poll every
+    /// [`FILTER_CHECK_INTERVAL`] streamed diamonds, and the `max_diamonds`
+    /// cap. Pruning cannot degrade — a partial filter pass would silently
+    /// drop result objects — so any breach here is a typed error.
+    fn filter_knn_governed(
+        &self,
+        query: &Query,
+        k: usize,
+        gauge: &BudgetGauge,
+    ) -> Result<(Vec<ObjectId>, Vec<ObjectId>), QueryError> {
         query.validate()?;
+        gauge.check(QueryPhase::Filter)?;
         let times = query.times();
         match &self.index {
             Some(tree) => {
-                let pruning = tree.prune_knn(
+                let cap = gauge.max_diamonds();
+                let pruning = tree.try_prune_knn(
                     times,
                     |t| query.position_at(t).expect("query validated above"),
                     k,
-                );
+                    |streamed| {
+                        if let Some(cap) = cap {
+                            if streamed > cap {
+                                return Err(gauge.exhausted(QueryPhase::Filter, "diamonds", cap));
+                            }
+                        }
+                        if streamed.is_multiple_of(FILTER_CHECK_INTERVAL) {
+                            gauge.check(QueryPhase::Filter)?;
+                        }
+                        Ok(())
+                    },
+                )?;
                 Ok((pruning.candidates, pruning.influencers))
             }
             None => {
@@ -403,8 +474,10 @@ impl<'a> QueryEngine<'a> {
         candidates: &[ObjectId],
         influencers: &[ObjectId],
         k: usize,
+        gauge: &BudgetGauge,
     ) -> Result<SamplingOutput, QueryError> {
-        let prepared = self.prepare_objects(influencers)?;
+        let prepared =
+            self.prepare_objects_governed(influencers, self.config.adaptation_threads, gauge)?;
         let adaptation_time = prepared.cold_time;
         let cache_hits = prepared.cache_hits;
         let cold_adaptations = prepared.cold_adaptations;
@@ -415,7 +488,19 @@ impl<'a> QueryEngine<'a> {
 
         // lint: allow(T001) sampling_time is QueryStats observability; it never feeds results
         let start = Instant::now();
-        let num_worlds = self.config.num_samples;
+        let requested = self.config.num_samples;
+        // A `max_worlds` cap truncates the run up front: the first `cap`
+        // worlds of the capped run are bit-identical to the first `cap`
+        // worlds of an uncapped one, so the estimate is unbiased — just
+        // coarser, which the `degraded` flag reports.
+        let mut degraded = false;
+        let mut num_worlds = requested;
+        if let Some(cap) = gauge.max_worlds() {
+            if cap < num_worlds {
+                num_worlds = cap;
+                degraded = true;
+            }
+        }
         // One vertical world-set per candidate, in ascending object order (the
         // order PCNN results are reported in).
         let mut sorted_candidates = candidates.to_vec();
@@ -448,7 +533,19 @@ impl<'a> QueryEngine<'a> {
         // walk prefixes up to `query.end()` are materialised (the tail steps
         // still burn their RNG draws, keeping worlds bit-identical).
         let horizon = query.end();
+        let mut worlds_done = 0usize;
         for w in 0..num_worlds {
+            // Deadline breaches degrade: the worlds sampled so far are a
+            // valid (smaller) Monte-Carlo run. Cancellation always errors.
+            if w > 0 && w.is_multiple_of(WORLD_CHECK_INTERVAL) {
+                match gauge.probe(QueryPhase::Sampling)? {
+                    Verdict::Continue => {}
+                    Verdict::Degrade => {
+                        degraded = true;
+                        break;
+                    }
+                }
+            }
             sampler.sample_world_prefix_into(&mut rng, &mut world, horizon);
             let trajectories = world.trajectories();
             for (i, &t) in times.iter().enumerate() {
@@ -493,13 +590,23 @@ impl<'a> QueryEngine<'a> {
                 exists_this_world[j] = false;
             }
             touched.clear();
+            worlds_done = w + 1;
         }
         let sampling_time = start.elapsed();
+        if worlds_done < num_worlds {
+            // Shrink every candidate's world-set to the worlds actually
+            // sampled, so supports and probability denominators agree.
+            for (_, worlds) in &mut candidate_worlds {
+                worlds.truncate_worlds(worlds_done);
+            }
+        }
 
         Ok(SamplingOutput {
             candidate_worlds,
             exists_counts: world_ids.into_iter().zip(exists_counts).collect(),
-            worlds: num_worlds,
+            worlds: worlds_done,
+            worlds_requested: requested,
+            degraded,
             adaptation_time,
             cache_hits,
             cold_adaptations,
@@ -512,6 +619,8 @@ impl<'a> QueryEngine<'a> {
         candidates: &[ObjectId],
         influencers: &[ObjectId],
         sampling: &SamplingOutput,
+        gauge: &BudgetGauge,
+        filter_time: Duration,
     ) -> QueryStats {
         QueryStats {
             candidates: candidates.len(),
@@ -521,6 +630,10 @@ impl<'a> QueryEngine<'a> {
             cold_adaptations: sampling.cold_adaptations,
             sampling_time: sampling.sampling_time,
             worlds: sampling.worlds,
+            filter_time,
+            budget_checkpoints: gauge.checkpoints() as usize,
+            worlds_requested: sampling.worlds_requested,
+            degraded: sampling.degraded,
             ..Default::default()
         }
     }
@@ -541,6 +654,28 @@ impl<'a> QueryEngine<'a> {
         self.pexists_knn(query, 1, tau)
     }
 
+    /// [`pforall_nn`](Self::pforall_nn) under a per-call [`QueryBudget`]
+    /// overriding the engine default.
+    pub fn pforall_nn_with_budget(
+        &self,
+        query: &Query,
+        tau: f64,
+        budget: &QueryBudget,
+    ) -> Result<QueryOutcome, QueryError> {
+        self.pforall_knn_with_budget(query, 1, tau, budget)
+    }
+
+    /// [`pexists_nn`](Self::pexists_nn) under a per-call [`QueryBudget`]
+    /// overriding the engine default.
+    pub fn pexists_nn_with_budget(
+        &self,
+        query: &Query,
+        tau: f64,
+        budget: &QueryBudget,
+    ) -> Result<QueryOutcome, QueryError> {
+        self.pexists_knn_with_budget(query, 1, tau, budget)
+    }
+
     /// P∀kNNQ (Section 8): objects that belong to the k-NN set of `q` at every
     /// timestamp of `T` with probability at least `tau`.
     pub fn pforall_knn(
@@ -549,9 +684,28 @@ impl<'a> QueryEngine<'a> {
         k: usize,
         tau: f64,
     ) -> Result<QueryOutcome, QueryError> {
+        self.pforall_knn_with_budget(query, k, tau, &self.config.budget)
+    }
+
+    /// [`pforall_knn`](Self::pforall_knn) under a per-call [`QueryBudget`]
+    /// overriding the engine default. The degradation contract is documented
+    /// in [`crate::govern`].
+    pub fn pforall_knn_with_budget(
+        &self,
+        query: &Query,
+        k: usize,
+        tau: f64,
+        budget: &QueryBudget,
+    ) -> Result<QueryOutcome, QueryError> {
         Query::validate_threshold(tau)?;
-        let (candidates, influencers) = self.filter_knn(query, k)?;
-        let sampling = self.sample(query, &candidates, &influencers, k)?;
+        let gauge = budget.start();
+        // lint: allow(T001) filter_time is QueryStats observability; it never feeds results
+        let filter_start = Instant::now();
+        let (candidates, influencers) = self.filter_knn_governed(query, k, &gauge)?;
+        let filter_time = filter_start.elapsed();
+        let sampling = self
+            .sample(query, &candidates, &influencers, k, &gauge)
+            .map_err(|e| enrich_partial(e, &candidates, &influencers, filter_time))?;
         let mut results: Vec<ObjectProbability> = sampling
             .candidate_worlds
             .iter()
@@ -567,7 +721,7 @@ impl<'a> QueryEngine<'a> {
             .filter(|r| r.probability >= tau && r.probability > 0.0)
             .collect();
         sort_results(&mut results);
-        let stats = self.stats_from(&candidates, &influencers, &sampling);
+        let stats = self.stats_from(&candidates, &influencers, &sampling, &gauge, filter_time);
         Ok(QueryOutcome { results, stats })
     }
 
@@ -579,9 +733,28 @@ impl<'a> QueryEngine<'a> {
         k: usize,
         tau: f64,
     ) -> Result<QueryOutcome, QueryError> {
+        self.pexists_knn_with_budget(query, k, tau, &self.config.budget)
+    }
+
+    /// [`pexists_knn`](Self::pexists_knn) under a per-call [`QueryBudget`]
+    /// overriding the engine default. The degradation contract is documented
+    /// in [`crate::govern`].
+    pub fn pexists_knn_with_budget(
+        &self,
+        query: &Query,
+        k: usize,
+        tau: f64,
+        budget: &QueryBudget,
+    ) -> Result<QueryOutcome, QueryError> {
         Query::validate_threshold(tau)?;
-        let (candidates, influencers) = self.filter_knn(query, k)?;
-        let sampling = self.sample(query, &candidates, &influencers, k)?;
+        let gauge = budget.start();
+        // lint: allow(T001) filter_time is QueryStats observability; it never feeds results
+        let filter_start = Instant::now();
+        let (candidates, influencers) = self.filter_knn_governed(query, k, &gauge)?;
+        let filter_time = filter_start.elapsed();
+        let sampling = self
+            .sample(query, &candidates, &influencers, k, &gauge)
+            .map_err(|e| enrich_partial(e, &candidates, &influencers, filter_time))?;
         let mut results: Vec<ObjectProbability> = sampling
             .exists_counts
             .iter()
@@ -592,7 +765,7 @@ impl<'a> QueryEngine<'a> {
             .filter(|r| r.probability >= tau && r.probability > 0.0)
             .collect();
         sort_results(&mut results);
-        let stats = self.stats_from(&candidates, &influencers, &sampling);
+        let stats = self.stats_from(&candidates, &influencers, &sampling, &gauge, filter_time);
         Ok(QueryOutcome { results, stats })
     }
 
@@ -602,36 +775,75 @@ impl<'a> QueryEngine<'a> {
         self.pcknn(query, 1, tau)
     }
 
+    /// [`pcnn`](Self::pcnn) under a per-call [`QueryBudget`] overriding the
+    /// engine default.
+    pub fn pcnn_with_budget(
+        &self,
+        query: &Query,
+        tau: f64,
+        budget: &QueryBudget,
+    ) -> Result<PcnnOutcome, QueryError> {
+        self.pcknn_with_budget(query, 1, tau, budget)
+    }
+
     /// PCkNNQ (Section 8): the continuous query under k-NN semantics.
     ///
     /// Each candidate's lattice is mined vertically
-    /// ([`vertical_timesets`]) and the per-object runs are fanned out across
-    /// [`pcnn_threads`](EngineConfig::pcnn_threads) scoped workers. Results
-    /// are merged back in ascending object order, so the outcome is
+    /// ([`vertical_timesets_governed`]) and the per-object runs are fanned out
+    /// across [`pcnn_threads`](EngineConfig::pcnn_threads) scoped workers.
+    /// Results are merged back in ascending object order, so the outcome is
     /// byte-identical at every thread count.
     pub fn pcknn(&self, query: &Query, k: usize, tau: f64) -> Result<PcnnOutcome, QueryError> {
+        self.pcknn_with_budget(query, k, tau, &self.config.budget)
+    }
+
+    /// [`pcknn`](Self::pcknn) under a per-call [`QueryBudget`] overriding the
+    /// engine default. A deadline breach during mining degrades — the lattice
+    /// stops expanding and the sets validated so far (an exact
+    /// under-approximation of the full answer) are returned with
+    /// `stats.degraded` set; cancellation is always a typed error.
+    pub fn pcknn_with_budget(
+        &self,
+        query: &Query,
+        k: usize,
+        tau: f64,
+        budget: &QueryBudget,
+    ) -> Result<PcnnOutcome, QueryError> {
         Query::validate_threshold(tau)?;
-        let (candidates, influencers) = self.filter_knn(query, k)?;
-        let sampling = self.sample(query, &candidates, &influencers, k)?;
+        let gauge = budget.start();
+        // lint: allow(T001) filter_time is QueryStats observability; it never feeds results
+        let filter_start = Instant::now();
+        let (candidates, influencers) = self.filter_knn_governed(query, k, &gauge)?;
+        let filter_time = filter_start.elapsed();
+        let sampling = self
+            .sample(query, &candidates, &influencers, k, &gauge)
+            .map_err(|e| enrich_partial(e, &candidates, &influencers, filter_time))?;
         let cfg = if self.config.maximal_pcnn_sets {
             PcnnConfig::maximal(tau)
         } else {
             PcnnConfig::new(tau)
         };
         let times = query.times();
-        let lattices: Vec<PcnnResult> = parallel_map_ordered(
+        // lint: allow(T001) mining_time is QueryStats observability; it never feeds results
+        let mine_start = Instant::now();
+        let lattices: Vec<Result<PcnnResult, QueryError>> = parallel_map_ordered(
             &sampling.candidate_worlds,
             self.config.pcnn_threads,
-            |(_, worlds)| vertical_timesets(worlds, &cfg),
+            |(_, worlds)| vertical_timesets_governed(worlds, &cfg, Some(&gauge)),
         );
+        let mining_time = mine_start.elapsed();
         let mut candidate_sets_evaluated = 0usize;
         let mut max_level = 0usize;
         let mut frontier_peak = 0usize;
+        let mut mining_degraded = false;
         let mut results: Vec<PcnnObjectResult> = Vec::new();
         for ((object, _), lattice) in sampling.candidate_worlds.iter().zip(lattices) {
+            let lattice = lattice
+                .map_err(|e| enrich_partial(e, &candidates, &influencers, filter_time))?;
             candidate_sets_evaluated += lattice.candidate_sets_evaluated;
             max_level = max_level.max(lattice.max_level);
             frontier_peak = frontier_peak.max(lattice.frontier_peak);
+            mining_degraded |= lattice.degraded;
             if lattice.sets.is_empty() {
                 continue;
             }
@@ -648,11 +860,30 @@ impl<'a> QueryEngine<'a> {
                 candidate_sets_evaluated: lattice.candidate_sets_evaluated,
             });
         }
-        let mut stats = self.stats_from(&candidates, &influencers, &sampling);
+        let mut stats = self.stats_from(&candidates, &influencers, &sampling, &gauge, filter_time);
         stats.max_level = max_level;
         stats.frontier_peak = frontier_peak;
+        stats.mining_time = mining_time;
+        stats.degraded |= mining_degraded;
         Ok(PcnnOutcome { results, stats, candidate_sets_evaluated })
     }
+}
+
+/// Fills the engine-level fields of the partial stats a budget error carries:
+/// the gauge only knows its checkpoint count, while the filter outcome and
+/// timing live up here.
+fn enrich_partial(
+    mut error: QueryError,
+    candidates: &[ObjectId],
+    influencers: &[ObjectId],
+    filter_time: Duration,
+) -> QueryError {
+    if let Some(stats) = error.partial_stats_mut() {
+        stats.candidates = candidates.len();
+        stats.influencers = influencers.len();
+        stats.filter_time = filter_time;
+    }
+    error
 }
 
 /// Output of the internal sampling pass.
@@ -663,7 +894,12 @@ struct SamplingOutput {
     /// Per influence object (sampler order), the number of worlds with at
     /// least one NN timestamp (the ∃ event of Definition 1).
     exists_counts: Vec<(ObjectId, usize)>,
+    /// Worlds actually sampled (the probability denominator).
     worlds: usize,
+    /// Worlds the configuration asked for.
+    worlds_requested: usize,
+    /// Whether a `max_worlds` cap or a deadline stopped sampling early.
+    degraded: bool,
     adaptation_time: Duration,
     cache_hits: usize,
     cold_adaptations: usize,

@@ -41,6 +41,7 @@ pub mod domination;
 pub mod effectiveness;
 pub mod engine;
 pub mod exact;
+pub mod govern;
 pub mod pcnn;
 pub mod prepare;
 pub mod query;
@@ -50,12 +51,19 @@ pub mod snapshot;
 pub mod store;
 
 pub use engine::{EngineConfig, QueryEngine};
+pub use govern::{BudgetGauge, CancelToken, QueryBudget, QueryPhase, Verdict};
 pub use prepare::{AdaptationCache, CacheStats, PrepareOutcome};
 pub use store::EngineStore;
 pub use exact::{ExactError, ExactResult};
 pub use pcnn::{PcnnConfig, PcnnResult, WorldSet};
 pub use query::{Query, QueryError};
 pub use results::{ObjectProbability, PcnnOutcome, QueryOutcome, QueryStats};
+
+/// The fault points this crate registers with [`ust_fault`] (see the chaos
+/// suite at the workspace root). `core.adapt.worker` panics inside a live
+/// adaptation worker, exercising the claim-release path of
+/// [`prepare::AdaptationCache`] under real threads.
+pub const FAULT_POINTS: &[&str] = &["core.adapt.worker"];
 
 pub use ust_markov::Timestamp;
 pub use ust_spatial::StateId;

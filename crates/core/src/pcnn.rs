@@ -35,6 +35,8 @@
 //! the executable reference the randomized equivalence tests compare the
 //! vertical miner against, bit for bit.
 
+use crate::govern::{BudgetGauge, QueryPhase, Verdict, MINING_CHECK_INTERVAL};
+use crate::query::QueryError;
 use rustc_hash::FxHashSet;
 use ust_trajectory::{iter_set_bits, TimeMask};
 
@@ -77,6 +79,12 @@ pub struct PcnnResult {
     /// peak width of the Apriori frontier. Computed before the maximality
     /// filter.
     pub frontier_peak: usize,
+    /// Whether a budget checkpoint stopped the expansion before the frontier
+    /// emptied ([`vertical_timesets_governed`]). Everything in
+    /// [`sets`](Self::sets) is still exactly validated — a degraded result
+    /// is an under-approximation, never a wrong set. Always `false` from the
+    /// ungoverned entry points.
+    pub degraded: bool,
 }
 
 /// The transposed ("vertical") world-membership of one candidate object: for
@@ -113,6 +121,20 @@ impl WorldSet {
     #[inline]
     pub fn num_worlds(&self) -> usize {
         self.num_worlds
+    }
+
+    /// Shrinks the logical world count to `n` after a degraded sampling run:
+    /// the sampler stopped early, so bits `n..` of every column were never
+    /// set, and supports as well as probability denominators must range over
+    /// the worlds actually sampled. The backing words keep their allocated
+    /// stride; only the logical count changes.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the current world count (a world-set cannot
+    /// grow).
+    pub fn truncate_worlds(&mut self, n: usize) {
+        assert!(n <= self.num_worlds, "cannot grow a world-set ({n} > {})", self.num_worlds);
+        self.num_worlds = n;
     }
 
     /// Marks the object as a nearest neighbor at timestamp index `time` in
@@ -262,9 +284,50 @@ fn mask_to_indices(mask: u64) -> Vec<usize> {
 /// 2⁶⁴-node lattice is unreachable anyway, inputs with more than 64 columns
 /// take the (equivalent) reference path instead.
 pub fn vertical_timesets(worlds: &WorldSet, cfg: &PcnnConfig) -> PcnnResult {
+    match vertical_timesets_governed(worlds, cfg, None) {
+        Ok(result) => result,
+        // Unreachable: without a gauge no checkpoint exists to err.
+        Err(_) => PcnnResult {
+            sets: Vec::new(),
+            candidate_sets_evaluated: 0,
+            max_level: 0,
+            frontier_peak: 0,
+            degraded: false,
+        },
+    }
+}
+
+/// [`vertical_timesets`] under a [`BudgetGauge`]: the gauge is polled at
+/// every lattice level and every [`MINING_CHECK_INTERVAL`] validated
+/// candidates within a level. Cancellation is a typed error; a passed
+/// deadline *degrades* — the expansion stops, every set validated so far is
+/// kept (exact, see the anti-monotonicity argument in the module docs) and
+/// the result is flagged [`PcnnResult::degraded`]. With `gauge = None` this
+/// is exactly the ungoverned miner.
+///
+/// Inputs wider than 64 timestamps take the reference path; they are polled
+/// once up front (a breach there degrades to an empty lattice) and then run
+/// ungoverned — a 2⁶⁴-node lattice is unreachable, so the case exists for
+/// API totality, not performance.
+pub fn vertical_timesets_governed(
+    worlds: &WorldSet,
+    cfg: &PcnnConfig,
+    gauge: Option<&BudgetGauge>,
+) -> Result<PcnnResult, QueryError> {
     let num_times = worlds.num_times();
     if num_times > 64 {
-        return apriori_timesets(&worlds.world_masks(), num_times, cfg);
+        if let Some(g) = gauge {
+            if g.probe(QueryPhase::Mining)? == Verdict::Degrade {
+                return Ok(PcnnResult {
+                    sets: Vec::new(),
+                    candidate_sets_evaluated: 0,
+                    max_level: 0,
+                    frontier_peak: 0,
+                    degraded: true,
+                });
+            }
+        }
+        return Ok(apriori_timesets(&worlds.world_masks(), num_times, cfg));
     }
     let num_worlds = worlds.num_worlds();
     let stride = worlds.stride;
@@ -280,6 +343,7 @@ pub fn vertical_timesets(worlds: &WorldSet, cfg: &PcnnConfig) -> PcnnResult {
     let mut evaluated = 0usize;
     let mut max_level = 0usize;
     let mut frontier_peak = 0usize;
+    let mut degraded = false;
     // Qualifying set masks per level, in generation order; converted (or
     // maximality-filtered) at the end. Levels are generated in lexicographic
     // order, which matches the reference path's join order exactly.
@@ -305,10 +369,17 @@ pub fn vertical_timesets(worlds: &WorldSet, cfg: &PcnnConfig) -> PcnnResult {
         frontier_peak = frontier_peak.max(current.len());
         let mut next: Vec<Node> = Vec::new();
         let mut next_words: Vec<u64> = Vec::new();
-        if current.len() > 1 {
+        // Level checkpoint: the frontier sets reached here are validated, so
+        // a deadline breach keeps them and just stops going deeper.
+        if let Some(g) = gauge {
+            if g.probe(QueryPhase::Mining)? == Verdict::Degrade {
+                degraded = true;
+            }
+        }
+        if !degraded && current.len() > 1 {
             let prev_sets: FxHashSet<u64> = current.iter().map(|n| n.set).collect();
             let mut class_start = 0usize;
-            while class_start < current.len() {
+            'join: while class_start < current.len() {
                 // A prefix class: the maximal run of frontier nodes agreeing
                 // on all but their last (= highest) element. Within a class
                 // the last elements are strictly increasing, so every
@@ -341,6 +412,19 @@ pub fn vertical_timesets(worlds: &WorldSet, cfg: &PcnnConfig) -> PcnnResult {
                             continue;
                         }
                         evaluated += 1;
+                        // Mid-level checkpoint: a breach discards only the
+                        // partially generated next level — the current
+                        // (fully validated) frontier is still reported.
+                        if evaluated.is_multiple_of(MINING_CHECK_INTERVAL) {
+                            if let Some(g) = gauge {
+                                if g.probe(QueryPhase::Mining)? == Verdict::Degrade {
+                                    degraded = true;
+                                    next.clear();
+                                    next_words.clear();
+                                    break 'join;
+                                }
+                            }
+                        }
                         // worlds(A) ∩ worlds(B) = worlds(A ∪ B): one
                         // AND+popcount, written straight into the next
                         // level's arena and kept only if it qualifies.
@@ -369,7 +453,7 @@ pub fn vertical_timesets(worlds: &WorldSet, cfg: &PcnnConfig) -> PcnnResult {
 
     let masked = if cfg.maximal_only { keep_maximal_levels(&levels) } else { levels.concat() };
     let sets = masked.into_iter().map(|(m, p)| (mask_to_indices(m), p)).collect();
-    PcnnResult { sets, candidate_sets_evaluated: evaluated, max_level, frontier_peak }
+    Ok(PcnnResult { sets, candidate_sets_evaluated: evaluated, max_level, frontier_peak, degraded })
 }
 
 /// Maximality filter over the per-level results: a qualifying `k`-set is
@@ -500,7 +584,13 @@ pub fn apriori_timesets(
     if cfg.maximal_only {
         all_results = keep_maximal(all_results);
     }
-    PcnnResult { sets: all_results, candidate_sets_evaluated: evaluated, max_level, frontier_peak }
+    PcnnResult {
+        sets: all_results,
+        candidate_sets_evaluated: evaluated,
+        max_level,
+        frontier_peak,
+        degraded: false,
+    }
 }
 
 /// Removes every set that is a proper subset of another qualifying set
@@ -723,6 +813,49 @@ mod tests {
         assert!(sets.contains(&vec![1, 65, 69]));
         assert!(sets.contains(&vec![0, 1, 65, 69]), "holds in exactly half the worlds");
         assert_eq!(result.max_level, 4);
+    }
+
+    #[test]
+    fn governed_miner_with_unlimited_budget_matches_ungoverned() {
+        use crate::govern::QueryBudget;
+        let m = masks(3, &[&[0, 1, 2], &[0, 1, 2], &[0, 2]]);
+        let ws = WorldSet::from_world_masks(3, &m);
+        let cfg = PcnnConfig::new(0.1);
+        let gauge = QueryBudget::unlimited().start();
+        let governed = vertical_timesets_governed(&ws, &cfg, Some(&gauge)).unwrap();
+        let free = vertical_timesets(&ws, &cfg);
+        assert_eq!(governed.sets, free.sets);
+        assert_eq!(governed.candidate_sets_evaluated, free.candidate_sets_evaluated);
+        assert!(!governed.degraded);
+        assert!(gauge.checkpoints() > 0, "the lattice polled its level checkpoints");
+    }
+
+    #[test]
+    fn governed_miner_degrades_on_deadline_keeping_validated_singletons() {
+        use crate::govern::QueryBudget;
+        use std::time::Duration;
+        let m = masks(3, &[&[0, 1, 2], &[0, 1, 2], &[0, 1, 2]]);
+        let ws = WorldSet::from_world_masks(3, &m);
+        let gauge = QueryBudget::unlimited().with_deadline(Duration::ZERO).start();
+        let result = vertical_timesets_governed(&ws, &PcnnConfig::new(0.5), Some(&gauge)).unwrap();
+        assert!(result.degraded);
+        // The zero deadline trips at the first level checkpoint: the L1
+        // singletons were already validated and survive; nothing deeper does.
+        let sets: Vec<Vec<usize>> = result.sets.iter().map(|(s, _)| s.clone()).collect();
+        assert_eq!(sets, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(result.max_level, 1);
+    }
+
+    #[test]
+    fn governed_miner_cancellation_is_a_typed_error() {
+        use crate::govern::{CancelToken, QueryBudget, QueryPhase};
+        let m = masks(3, &[&[0, 1, 2], &[0, 1, 2]]);
+        let ws = WorldSet::from_world_masks(3, &m);
+        let token = CancelToken::new();
+        token.cancel();
+        let gauge = QueryBudget::unlimited().with_cancel(&token).start();
+        let err = vertical_timesets_governed(&ws, &PcnnConfig::new(0.5), Some(&gauge)).unwrap_err();
+        assert!(matches!(err, QueryError::Cancelled { phase: QueryPhase::Mining, .. }));
     }
 
     #[test]

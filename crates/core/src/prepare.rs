@@ -24,6 +24,7 @@
 //! needs a condition variable, which the shim does not provide.
 
 use crate::engine::AdaptedModels;
+use crate::govern::{BudgetGauge, QueryPhase};
 use crate::query::QueryError;
 use crate::ObjectId;
 use rustc_hash::FxHashMap;
@@ -197,6 +198,14 @@ impl AdaptationCache {
                 slots.insert(id, Slot::Ready(model.clone()));
                 Ok((model, true))
             }
+            Err(error) if error.is_transient() => {
+                // Budget breaches are tied to one evaluation's deadline or
+                // token, not to the (immutable) data: caching one would
+                // poison every later query with a healthier budget. Release
+                // the claim instead, like the panic guard does.
+                slots.remove(&id);
+                Err(error)
+            }
             Err(error) => {
                 slots.insert(id, Slot::Failed(error.clone()));
                 Err(error)
@@ -310,6 +319,28 @@ where
     F: Fn(ObjectId) -> Result<AdaptedModel, QueryError> + Sync,
 {
     parallel_map_ordered(ids, threads, |&id| cache.get_or_adapt(id, || adapt(id)))
+}
+
+/// [`adapt_batch`] under a [`QueryBudget`](crate::govern::QueryBudget):
+/// every worker polls the gauge *before* each adaptation. One adaptation is
+/// a coarse unit of work (a full forward–backward run), so the per-item poll
+/// is both cheap and the natural deterministic checkpoint granularity of
+/// this phase. The poll happens outside [`AdaptationCache::get_or_adapt`],
+/// so a breach can never be mistaken for a per-object failure and cached.
+pub fn adapt_batch_governed<F>(
+    cache: &AdaptationCache,
+    ids: &[ObjectId],
+    threads: usize,
+    adapt: F,
+    gauge: &BudgetGauge,
+) -> Vec<Result<(std::sync::Arc<AdaptedModel>, bool), QueryError>>
+where
+    F: Fn(ObjectId) -> Result<AdaptedModel, QueryError> + Sync,
+{
+    parallel_map_ordered(ids, threads, |&id| {
+        gauge.check(QueryPhase::Adaptation)?;
+        cache.get_or_adapt(id, || adapt(id))
+    })
 }
 
 /// Outcome of a [`QueryEngine::prepare_objects`](crate::QueryEngine) call: the
@@ -446,6 +477,46 @@ mod tests {
             }
         }
         assert_eq!(executions.load(Ordering::SeqCst), 64, "second sweep was fully warm");
+    }
+
+    #[test]
+    fn transient_errors_are_not_cached_and_release_the_claim() {
+        let cache = AdaptationCache::new();
+        let budget_err = QueryError::Cancelled {
+            phase: crate::govern::QueryPhase::Adaptation,
+            stats: Box::default(),
+        };
+        assert!(budget_err.is_transient());
+        let err = cache.get_or_adapt(9, || Err(budget_err.clone())).unwrap_err();
+        assert_eq!(err, budget_err);
+        assert_eq!(cache.stats().cached_failures, 0, "budget errors must not poison the cache");
+        // The slot is claimable again and a healthy retry succeeds.
+        let (_, cold) = cache.get_or_adapt(9, toy_adapt).unwrap();
+        assert!(cold);
+    }
+
+    #[test]
+    fn governed_batch_cancels_deterministically_and_caches_nothing() {
+        use crate::govern::{CancelToken, QueryBudget};
+        let ids: Vec<ObjectId> = (0..32).collect();
+        for threads in [1usize, 2, 4] {
+            let cache = AdaptationCache::new();
+            let token = CancelToken::new();
+            token.cancel();
+            let gauge = QueryBudget::unlimited().with_cancel(&token).start();
+            let results = adapt_batch_governed(&cache, &ids, threads, |_| toy_adapt(), &gauge);
+            assert_eq!(results.len(), ids.len());
+            for r in results {
+                assert!(matches!(
+                    r.unwrap_err(),
+                    QueryError::Cancelled { phase: QueryPhase::Adaptation, .. }
+                ));
+            }
+            let stats = cache.stats();
+            assert_eq!(stats.cold_adaptations, 0, "no adaptation may run after cancel");
+            assert_eq!(stats.cached_failures, 0);
+            assert_eq!(stats.cached_models, 0);
+        }
     }
 
     #[test]

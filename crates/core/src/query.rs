@@ -5,6 +5,8 @@
 //! a trivial query trajectory, so [`Query`] stores a set of timestamps plus
 //! either a constant location or one location per timestamp.
 
+use crate::govern::QueryPhase;
+use crate::results::QueryStats;
 use crate::Timestamp;
 use rustc_hash::FxHashMap;
 use ust_spatial::Point;
@@ -43,6 +45,75 @@ pub enum QueryError {
         /// The id no database object carries.
         object: crate::ObjectId,
     },
+    /// The evaluation ran past its [`QueryBudget`](crate::govern::QueryBudget)
+    /// deadline in a phase with no degradation semantics (see the contract in
+    /// [`crate::govern`]). Transient: never cached, retry may succeed.
+    DeadlineExceeded {
+        /// The phase whose checkpoint observed the breach.
+        phase: QueryPhase,
+        /// Partial statistics gathered up to the breach (boxed to keep the
+        /// non-budget variants small).
+        stats: Box<QueryStats>,
+    },
+    /// The evaluation's [`CancelToken`](crate::govern::CancelToken) was
+    /// cancelled. Transient: never cached.
+    Cancelled {
+        /// The phase whose checkpoint observed the cancellation.
+        phase: QueryPhase,
+        /// Partial statistics gathered up to the cancellation.
+        stats: Box<QueryStats>,
+    },
+    /// A deterministic resource cap of the budget was exceeded. Unlike the
+    /// deadline this is reproducible — the same query against the same cap
+    /// always stops at the same point.
+    BudgetExhausted {
+        /// The phase whose checkpoint observed the breach.
+        phase: QueryPhase,
+        /// Which resource blew the cap (e.g. `"diamonds"`).
+        resource: &'static str,
+        /// The configured cap.
+        limit: usize,
+        /// Partial statistics gathered up to the breach.
+        stats: Box<QueryStats>,
+    },
+}
+
+impl QueryError {
+    /// The partial [`QueryStats`] a budget error carries (`None` for the
+    /// validation and adaptation errors, which happen before any phase
+    /// accounting exists).
+    pub fn partial_stats(&self) -> Option<&QueryStats> {
+        match self {
+            QueryError::DeadlineExceeded { stats, .. }
+            | QueryError::Cancelled { stats, .. }
+            | QueryError::BudgetExhausted { stats, .. } => Some(stats),
+            _ => None,
+        }
+    }
+
+    /// Mutable access for the engine layers that enrich partial stats on the
+    /// way out (candidate counts, phase timings).
+    pub(crate) fn partial_stats_mut(&mut self) -> Option<&mut QueryStats> {
+        match self {
+            QueryError::DeadlineExceeded { stats, .. }
+            | QueryError::Cancelled { stats, .. }
+            | QueryError::BudgetExhausted { stats, .. } => Some(stats),
+            _ => None,
+        }
+    }
+
+    /// Whether this error is transient — tied to one evaluation's budget
+    /// rather than to the (immutable) data. Transient errors must never
+    /// enter the adaptation cache's `Failed` slots: a later query with a
+    /// fresh budget can succeed where this one was cut short.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            QueryError::DeadlineExceeded { .. }
+                | QueryError::Cancelled { .. }
+                | QueryError::BudgetExhausted { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for QueryError {
@@ -61,6 +132,15 @@ impl std::fmt::Display for QueryError {
             }
             QueryError::UnknownObject { object } => {
                 write!(f, "the database has no object with id {object}")
+            }
+            QueryError::DeadlineExceeded { phase, .. } => {
+                write!(f, "query deadline exceeded during the {phase} phase")
+            }
+            QueryError::Cancelled { phase, .. } => {
+                write!(f, "query cancelled during the {phase} phase")
+            }
+            QueryError::BudgetExhausted { phase, resource, limit, .. } => {
+                write!(f, "query budget exhausted during the {phase} phase: more than {limit} {resource}")
             }
         }
     }

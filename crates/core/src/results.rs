@@ -16,7 +16,7 @@ pub struct ObjectProbability {
 /// quantities plotted in the efficiency figures of the paper: the adaptation
 /// time ("TS"), the sampling/refinement time ("FA"/"EX"/"SA"), and the sizes
 /// of the candidate and influence sets (`|C(q)|`, `|I(q)|`).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueryStats {
     /// Number of ∀-candidates after pruning (`|C(q)|`).
     pub candidates: usize,
@@ -49,6 +49,29 @@ pub struct QueryStats {
     /// [`max_level`](Self::max_level) this makes the small-τ lattice blow-up
     /// of Section 4.3 (Figure 14) observable. Zero for non-PCNN semantics.
     pub frontier_peak: usize,
+    /// Wall-clock time of the filter (pruning) phase.
+    pub filter_time: Duration,
+    /// Wall-clock time of the PCNN lattice expansion. Zero for non-PCNN
+    /// semantics (their refinement cost is all in
+    /// [`sampling_time`](Self::sampling_time)).
+    pub mining_time: Duration,
+    /// Number of budget checkpoints polled during the evaluation (see
+    /// [`crate::govern`]). Zero when the engine runs with an unlimited
+    /// budget is *not* guaranteed — checkpoints are polled either way; the
+    /// counter measures governance overhead, not whether a budget was set.
+    pub budget_checkpoints: usize,
+    /// Number of worlds the evaluation *asked* for
+    /// ([`EngineConfig::num_samples`](crate::EngineConfig)).
+    /// [`worlds`](Self::worlds) is what it actually sampled; the two differ
+    /// exactly when [`degraded`](Self::degraded) is set or a `max_worlds`
+    /// cap truncated the run.
+    pub worlds_requested: usize,
+    /// Whether any phase degraded instead of completing: the sampling loop
+    /// stopped before `worlds_requested` (deadline or `max_worlds` cap), or
+    /// the PCNN lattice stopped expanding early. Degraded probabilities are
+    /// unbiased but coarser (fewer worlds ⇒ wider Monte-Carlo confidence
+    /// interval); degraded PCNN results are an exact under-approximation.
+    pub degraded: bool,
 }
 
 /// Outcome of a P∃NNQ / P∀NNQ (or their kNN generalisations).
@@ -190,5 +213,10 @@ mod tests {
         assert_eq!(stats.cold_adaptations, 0);
         assert_eq!(stats.max_level, 0);
         assert_eq!(stats.frontier_peak, 0);
+        assert_eq!(stats.filter_time, Duration::ZERO);
+        assert_eq!(stats.mining_time, Duration::ZERO);
+        assert_eq!(stats.budget_checkpoints, 0);
+        assert_eq!(stats.worlds_requested, 0);
+        assert!(!stats.degraded);
     }
 }

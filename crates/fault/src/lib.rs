@@ -1,0 +1,356 @@
+//! # ust-fault
+//!
+//! Deterministic, zero-cost-when-disabled fault injection for the pnnq
+//! workspace.
+//!
+//! Production code marks the places where the outside world can fail — an
+//! I/O read, a decode step, an adaptation worker — with a named *fault
+//! point*:
+//!
+//! ```ignore
+//! if let Some(message) = ust_fault::inject("persist.read.file") {
+//!     return Err(StoreError::Io { message });
+//! }
+//! ```
+//!
+//! With no [`FaultPlan`] armed, [`inject`] is a single relaxed atomic load
+//! and a branch — cheap enough for hot loops and exactly what the release
+//! binaries run. Chaos tests arm a plan describing which points fire, in
+//! which occurrence window, and the guard returned by [`FaultPlan::arm`]
+//! disarms everything on drop (including on test panic, so one failing chaos
+//! test cannot poison the next).
+//!
+//! ## Naming convention
+//!
+//! Fault points are named `<crate-area>.<operation>.<failure>`, e.g.
+//! `persist.read.interrupted` or `index.build.shard`. Every crate that hosts
+//! points exports its full list as `pub const FAULT_POINTS: &[&str]` so the
+//! chaos sweep can enumerate them without a registry server; [`hits`] /
+//! [`fired`] make a sweep assert that each point was actually reached, which
+//! catches registrations that drifted away from the code they guard.
+//!
+//! ## Determinism
+//!
+//! A plan is a pure function of its construction: `with(point, skip, times)`
+//! fires on occurrences `skip .. skip + times` of `point`, counted per armed
+//! plan. [`FaultPlan::seeded`] derives a small plan from a seed using the
+//! same xorshift64* mixer as the store-fuzzer's mutator, so a failing chaos
+//! seed reproduces byte-for-byte.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Fast-path switch: `false` means no plan is armed anywhere in the process
+/// and [`inject`] returns `None` after one relaxed load.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// The armed plan plus its per-point occurrence counters. `None` while
+/// disarmed. Only touched on the slow path (a plan is armed) and by the
+/// arm/disarm transitions themselves.
+static STATE: Mutex<Option<PlanState>> = Mutex::new(None);
+
+/// One `(point, skip, times)` arm of a plan: occurrences
+/// `skip .. skip + times` of `point` fire, all others pass through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Arm {
+    point: String,
+    skip: u64,
+    times: u64,
+}
+
+/// Counter pair for one fault point while a plan is armed.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    hits: u64,
+    fired: u64,
+}
+
+#[derive(Debug)]
+struct PlanState {
+    arms: Vec<Arm>,
+    counters: BTreeMap<String, Counters>,
+}
+
+/// Locks `STATE`, recovering from a poisoned mutex: a panic *at* a fault
+/// point (that is the whole purpose of [`panic_point`]) must not wedge the
+/// registry for the rest of the process.
+fn lock_state() -> MutexGuard<'static, Option<PlanState>> {
+    STATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A deterministic description of which fault points fire, and when.
+///
+/// Build one with [`FaultPlan::new`] + [`FaultPlan::with`] (or the
+/// shorthands [`FaultPlan::once`] / [`FaultPlan::seeded`]), then call
+/// [`FaultPlan::arm`]. Plans are inert until armed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    arms: Vec<Arm>,
+}
+
+impl FaultPlan {
+    /// An empty plan: arming it enables counting ([`hits`]) but fires
+    /// nothing.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan in which the first occurrence of `point` fires, once.
+    pub fn once(point: &str) -> Self {
+        FaultPlan::new().with(point, 0, 1)
+    }
+
+    /// Adds an arm: occurrences `skip .. skip + times` of `point` fire
+    /// (occurrences are counted from zero, per armed plan).
+    #[must_use]
+    pub fn with(mut self, point: &str, skip: u64, times: u64) -> Self {
+        self.arms.push(Arm { point: point.to_string(), skip, times });
+        self
+    }
+
+    /// Derives a small plan from `seed` over `catalog` using the store
+    /// fuzzer's xorshift64* lineage: one to three arms, each firing one or
+    /// two early occurrences of a catalog point. The same `(seed, catalog)`
+    /// always yields the same plan.
+    pub fn seeded(seed: u64, catalog: &[&str]) -> Self {
+        let mut rng = SplitMix(seed);
+        let mut plan = FaultPlan::new();
+        if catalog.is_empty() {
+            return plan;
+        }
+        let arms = 1 + (rng.next() % 3) as usize;
+        for _ in 0..arms {
+            let point = catalog[(rng.next() % catalog.len() as u64) as usize];
+            let skip = rng.next() % 3;
+            let times = 1 + rng.next() % 2;
+            plan = plan.with(point, skip, times);
+        }
+        plan
+    }
+
+    /// The distinct point names this plan can fire, in arm order.
+    pub fn points(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::with_capacity(self.arms.len());
+        for arm in &self.arms {
+            if !out.contains(&arm.point.as_str()) {
+                out.push(&arm.point);
+            }
+        }
+        out
+    }
+
+    /// Arms the plan process-wide and returns a guard that disarms it on
+    /// drop. Arming replaces any previously armed plan (last wins); chaos
+    /// tests serialize on their own mutex, so in practice exactly one plan
+    /// is live at a time.
+    pub fn arm(self) -> ArmedFaults {
+        let mut state = lock_state();
+        *state = Some(PlanState { arms: self.arms, counters: BTreeMap::new() });
+        ARMED.store(true, Ordering::SeqCst);
+        ArmedFaults { _private: () }
+    }
+}
+
+/// Guard returned by [`FaultPlan::arm`]; dropping it disarms fault injection
+/// process-wide and clears all counters.
+#[derive(Debug)]
+pub struct ArmedFaults {
+    _private: (),
+}
+
+impl Drop for ArmedFaults {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+        *lock_state() = None;
+    }
+}
+
+/// The per-point poll every fault site runs.
+///
+/// Returns `Some(message)` when the armed plan says this occurrence of
+/// `name` fails; the caller maps the message into its own typed error. With
+/// no plan armed this is one relaxed atomic load.
+#[inline]
+pub fn inject(name: &str) -> Option<String> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    inject_slow(name)
+}
+
+#[cold]
+fn inject_slow(name: &str) -> Option<String> {
+    let mut state = lock_state();
+    let plan = state.as_mut()?;
+    let counters = plan.counters.entry(name.to_string()).or_default();
+    let occurrence = counters.hits;
+    counters.hits += 1;
+    let fires = plan
+        .arms
+        .iter()
+        .any(|arm| arm.point == name && occurrence >= arm.skip && occurrence < arm.skip + arm.times);
+    if fires {
+        counters.fired += 1;
+        Some(format!("injected fault: {name} (occurrence {occurrence})"))
+    } else {
+        None
+    }
+}
+
+/// A fault site whose only possible failure is a crash: panics with the
+/// injected message when the armed plan fires `name`, otherwise does
+/// nothing. This is how chaos tests drive *real* worker panics through the
+/// panic-safety machinery (claim release, scoped-thread propagation) that
+/// the model checker only proves abstractly.
+#[inline]
+pub fn panic_point(name: &str) {
+    if let Some(message) = inject(name) {
+        panic!("{message}");
+    }
+}
+
+/// How many times `name` was polled (via [`inject`] / [`panic_point`] /
+/// [`fault_point!`]) since the current plan was armed. Zero while disarmed —
+/// the fast path deliberately does not count.
+pub fn hits(name: &str) -> u64 {
+    lock_state()
+        .as_ref()
+        .and_then(|p| p.counters.get(name))
+        .map_or(0, |c| c.hits)
+}
+
+/// How many times `name` actually fired since the current plan was armed.
+pub fn fired(name: &str) -> u64 {
+    lock_state()
+        .as_ref()
+        .and_then(|p| p.counters.get(name))
+        .map_or(0, |c| c.fired)
+}
+
+/// Marks a fallible fault site: evaluates to `Err(map(message))` when the
+/// armed plan fires `$name`, otherwise to `Ok(())`, so call sites can write
+/// `fault_point!("persist.read.section", |m| StoreError::Io { message: m })?;`.
+#[macro_export]
+macro_rules! fault_point {
+    ($name:expr, $map:expr) => {
+        match $crate::inject($name) {
+            Some(message) => Err(($map)(message)),
+            None => Ok(()),
+        }
+    };
+}
+
+/// The xorshift64* mixer of the store fuzzer's `Mutator` (PR 6 lineage),
+/// kept bit-compatible so seeds reproduce across both harnesses.
+#[derive(Debug)]
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        // A zero state would be a fixed point; remap it like the fuzzer does.
+        if self.0 == 0 {
+            self.0 = 0x9E37_79B9_7F4A_7C15;
+        }
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chaos state is process-global; every test that arms a plan holds this.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disarmed_injects_nothing_and_counts_nothing() {
+        let _guard = serial();
+        assert_eq!(inject("never.registered"), None);
+        assert_eq!(hits("never.registered"), 0);
+        assert_eq!(fired("never.registered"), 0);
+    }
+
+    #[test]
+    fn once_fires_exactly_the_first_occurrence() {
+        let _guard = serial();
+        let armed = FaultPlan::once("a.b.c").arm();
+        assert!(inject("a.b.c").is_some());
+        assert_eq!(inject("a.b.c"), None);
+        assert_eq!(inject("other"), None);
+        assert_eq!(hits("a.b.c"), 2);
+        assert_eq!(fired("a.b.c"), 1);
+        assert_eq!(hits("other"), 1);
+        drop(armed);
+        assert_eq!(inject("a.b.c"), None);
+        assert_eq!(hits("a.b.c"), 0);
+    }
+
+    #[test]
+    fn skip_window_fires_the_requested_occurrences() {
+        let _guard = serial();
+        let _armed = FaultPlan::new().with("p", 2, 2).arm();
+        let outcomes: Vec<bool> = (0..6).map(|_| inject("p").is_some()).collect();
+        assert_eq!(outcomes, vec![false, false, true, true, false, false]);
+        assert_eq!(fired("p"), 2);
+    }
+
+    #[test]
+    fn panic_point_panics_only_when_armed() {
+        let _guard = serial();
+        panic_point("quiet.when.disarmed");
+        let _armed = FaultPlan::once("boom").arm();
+        let caught = std::panic::catch_unwind(|| panic_point("boom"));
+        assert!(caught.is_err());
+        // The registry survives the panic: the mutex is not wedged.
+        assert_eq!(fired("boom"), 1);
+        panic_point("boom"); // occurrence 1: no longer fires
+    }
+
+    #[test]
+    fn fault_point_macro_maps_into_the_callers_error() {
+        let _guard = serial();
+        let _armed = FaultPlan::once("macro.site").arm();
+        let fail: Result<(), String> = fault_point!("macro.site", |m: String| m);
+        assert!(fail.unwrap_err().contains("macro.site"));
+        let pass: Result<(), String> = fault_point!("macro.site", |m: String| m);
+        assert!(pass.is_ok());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_drawn_from_the_catalog() {
+        let _guard = serial();
+        let catalog = ["x.read.file", "x.read.interrupted", "x.decode.section"];
+        let a = FaultPlan::seeded(42, &catalog);
+        let b = FaultPlan::seeded(42, &catalog);
+        assert_eq!(a, b);
+        assert!(!a.points().is_empty());
+        for point in a.points() {
+            assert!(catalog.contains(&point));
+        }
+        let c = FaultPlan::seeded(43, &catalog);
+        // Different seeds *may* collide, but these two are known to differ.
+        assert_ne!(a, c);
+        assert_eq!(FaultPlan::seeded(7, &[]), FaultPlan::new());
+    }
+
+    #[test]
+    fn zero_seed_is_remapped_like_the_fuzzer_mutator() {
+        let _guard = serial();
+        let zero = FaultPlan::seeded(0, &["p.q.r"]);
+        let remapped = FaultPlan::seeded(0x9E37_79B9_7F4A_7C15 | 1, &["p.q.r"]);
+        // Not necessarily equal (the remap happens pre-mix), but zero must
+        // not degenerate into an empty or stuck plan.
+        assert!(!zero.points().is_empty());
+        assert!(!remapped.points().is_empty());
+    }
+}

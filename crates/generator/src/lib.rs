@@ -49,3 +49,10 @@ pub use workload::{Dataset, QueryWorkload, QueryWorkloadConfig};
 pub use ust_markov::Timestamp;
 pub use ust_spatial::StateId;
 pub use ust_trajectory::ObjectId;
+
+/// The fault points this crate registers with [`ust_fault`] (see the chaos
+/// suite at the workspace root): a failed T-Drive file open, a hard
+/// mid-stream read error, and a synthetic signal interruption feeding the
+/// bounded retry loop of the line reader.
+pub const FAULT_POINTS: &[&str] =
+    &["tdrive.open", "tdrive.read.line", "tdrive.read.interrupted"];

@@ -183,13 +183,48 @@ impl<R: BufRead> FixStream<R> {
     }
 }
 
+/// Upper bound on transparent retries of a read that failed with
+/// [`std::io::ErrorKind::Interrupted`]. Signal-interrupted reads made no
+/// progress by contract, so retrying is always safe; the bound keeps a
+/// signal storm — or an armed `tdrive.read.interrupted` fault with a large
+/// `times` — from looping forever.
+const MAX_READ_RETRIES: usize = 8;
+
+/// Reads one `\n`-terminated line into `buf`, transparently retrying up to
+/// [`MAX_READ_RETRIES`] signal interruptions. `read_until` appends, so a
+/// retry after a partial read continues the same line instead of losing the
+/// bytes already buffered. The two fault points feed the chaos suite:
+/// `tdrive.read.interrupted` takes the retry path, `tdrive.read.line` is a
+/// hard read error that surfaces as a trailing [`LoadErrorKind::Io`] row.
+fn read_line_retrying<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>) -> std::io::Result<usize> {
+    let mut retries = 0usize;
+    loop {
+        let result = match ust_fault::inject("tdrive.read.interrupted") {
+            Some(message) => Err(std::io::Error::new(std::io::ErrorKind::Interrupted, message)),
+            None => match ust_fault::inject("tdrive.read.line") {
+                Some(message) => Err(std::io::Error::other(message)),
+                None => reader.read_until(b'\n', buf),
+            },
+        };
+        match result {
+            Err(error)
+                if error.kind() == std::io::ErrorKind::Interrupted
+                    && retries < MAX_READ_RETRIES =>
+            {
+                retries += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
 impl<R: BufRead> Iterator for FixStream<R> {
     type Item = Result<RawFix, LoadError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         while !self.done {
             self.buf.clear();
-            match self.reader.read_until(b'\n', &mut self.buf) {
+            match read_line_retrying(&mut self.reader, &mut self.buf) {
                 Ok(0) => self.done = true,
                 Ok(_) => {
                     self.line += 1;
@@ -252,6 +287,11 @@ pub fn parse_str(csv: &str) -> LoadOutcome {
 /// Streams a T-Drive file from disk. Opening errors are returned directly;
 /// read errors mid-file become a trailing [`LoadErrorKind::Io`] entry.
 pub fn load_path(path: impl AsRef<Path>) -> std::io::Result<LoadOutcome> {
+    // Chaos hook: a failed open (permissions, vanished file) before any
+    // bytes stream (see tests/chaos.rs at the workspace root).
+    if let Some(message) = ust_fault::inject("tdrive.open") {
+        return Err(std::io::Error::other(message));
+    }
     let file = std::fs::File::open(path)?;
     Ok(LoadOutcome::collect(FixStream::new(std::io::BufReader::new(file))))
 }

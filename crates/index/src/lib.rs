@@ -32,3 +32,9 @@ pub use tree::{IndexBuildStats, UstTree, UstTreeConfig};
 pub use ust_markov::Timestamp;
 pub use ust_spatial::StateId;
 pub use ust_trajectory::ObjectId;
+
+/// The fault points this crate registers with [`ust_fault`] (see the chaos
+/// suite at the workspace root). `index.build.shard` panics inside one
+/// UST-tree build shard, exercising the panic propagation of the scoped
+/// fan-out in [`par`].
+pub const FAULT_POINTS: &[&str] = &["index.build.shard"];

@@ -362,11 +362,30 @@ impl UstTree {
         t_to: Timestamp,
         mut f: impl FnMut(&'s Diamond),
     ) {
+        match self.try_for_each_overlapping(t_from, t_to, |d| {
+            f(d);
+            Ok::<(), std::convert::Infallible>(())
+        }) {
+            Ok(()) => {}
+            Err(never) => match never {},
+        }
+    }
+
+    /// Fallible form of [`Self::for_each_overlapping`]: the stream stops at
+    /// the first `Err` the visitor returns and propagates it. The visit order
+    /// of the `Ok` prefix matches the infallible form, so budget checkpoints
+    /// placed in the visitor fire at deterministic stream positions.
+    pub fn try_for_each_overlapping<'s, E>(
+        &'s self,
+        t_from: Timestamp,
+        t_to: Timestamp,
+        mut f: impl FnMut(&'s Diamond) -> Result<(), E>,
+    ) -> Result<(), E> {
         let query = Rect3::new(
             [f64::NEG_INFINITY, f64::NEG_INFINITY, t_from as f64],
             [f64::INFINITY, f64::INFINITY, t_to as f64],
         );
-        self.rtree.for_each_intersecting(&query, |_, &i| f(&self.diamonds[i]));
+        self.rtree.try_for_each_intersecting(&query, |_, &i| f(&self.diamonds[i]))
     }
 
     /// Diamonds whose time interval overlaps `[t_from, t_to]`, collected into
@@ -408,26 +427,48 @@ impl UstTree {
         query_pos: impl Fn(Timestamp) -> Point,
         k: usize,
     ) -> PruningResult {
+        match self.try_prune_knn(times, query_pos, k, |_| Ok::<(), std::convert::Infallible>(()))
+        {
+            Ok(result) => result,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Governable form of [`Self::prune_knn`]: `guard` is called once per
+    /// streamed diamond with the running stream count (1-based) *before* the
+    /// diamond is probed; returning `Err` aborts the pruning pass and
+    /// propagates the error. Diamonds stream in deterministic R\*-tree order,
+    /// so a guard that trips at count `n` always trips on the same diamond.
+    pub fn try_prune_knn<E>(
+        &self,
+        times: &[Timestamp],
+        query_pos: impl Fn(Timestamp) -> Point,
+        k: usize,
+        mut guard: impl FnMut(usize) -> Result<(), E>,
+    ) -> Result<PruningResult, E> {
         debug_assert!(times.is_sorted(), "query timestamps must be ascending");
         if times.is_empty() {
-            return PruningResult {
+            return Ok(PruningResult {
                 times: Vec::new(),
                 candidates: Vec::new(),
                 influencers: Vec::new(),
                 prune_distances: Vec::new(),
-            };
+            });
         }
         let t_from = *times.first().expect("non-empty");
         let t_to = *times.last().expect("non-empty");
         let positions: Vec<Point> = times.iter().map(|&t| query_pos(t)).collect();
         let mut table = BoundsTable::new(times.len());
-        self.for_each_overlapping(t_from, t_to, |diamond| {
+        let mut streamed = 0usize;
+        self.try_for_each_overlapping(t_from, t_to, |diamond| {
+            streamed += 1;
+            guard(streamed)?;
             // Probe only the query timestamps the diamond actually covers
             // (times are ascending, so the covered ones form a subrange).
             let lo = times.partition_point(|&t| t < diamond.t_start);
             let hi = times.partition_point(|&t| t <= diamond.t_end);
             if lo == hi {
-                return;
+                return Ok(());
             }
             let slot = table.slot(diamond.object);
             for i in lo..hi {
@@ -436,8 +477,9 @@ impl UstTree {
                     .expect("timestamp inside the diamond's interval");
                 table.record_at(slot, i, rect.min_dist(&positions[i]), rect.max_dist(&positions[i]));
             }
-        });
-        table.evaluate_knn(times, k)
+            Ok(())
+        })?;
+        Ok(table.evaluate_knn(times, k))
     }
 
     /// Convenience wrapper for a static (constant-location) query point.
@@ -455,6 +497,9 @@ fn build_object_run(
     memo: &GeometryMemo,
     cfg: &UstTreeConfig,
 ) -> ObjectRun {
+    // Chaos hook: lets the chaos suite crash one build shard mid-flight and
+    // prove the scoped fan-out propagates the panic instead of wedging.
+    ust_fault::panic_point("index.build.shard");
     let mut run = ObjectRun { diamonds: Vec::new(), segments: 0, peak_frontier: 0 };
     let mut push = |t_start: Timestamp, from_state: StateId, t_end: Timestamp, to_state: StateId| {
         run.segments += 1;

@@ -48,3 +48,15 @@ pub use fuzz::Mutator;
 pub use store::{
     decode_store, encode_store, read_store, write_store, LoadedStore, StoreContents, StoreStats,
 };
+
+/// The fault points this crate registers with [`ust_fault`] (see the chaos
+/// suite at the workspace root): a hard read/write failure, a synthetic
+/// signal interruption feeding the bounded retry loop of each, and a torn
+/// section read surfacing mid-container decode.
+pub const FAULT_POINTS: &[&str] = &[
+    "persist.read.file",
+    "persist.read.interrupted",
+    "persist.write.file",
+    "persist.write.interrupted",
+    "persist.read.section",
+];

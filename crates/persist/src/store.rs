@@ -113,6 +113,11 @@ pub fn decode_store(bytes: &[u8]) -> Result<LoadedStore, StoreError> {
     // count from turning into a giant reservation.
     let mut frames: Vec<(u32, &[u8])> = Vec::new();
     for _ in 0..section_count {
+        // Chaos hook: a torn read surfacing mid-container, after the header
+        // already validated (see tests/chaos.rs at the workspace root).
+        if let Some(message) = ust_fault::inject("persist.read.section") {
+            return Err(StoreError::Io { message });
+        }
         r.set_context("section frame");
         let id = r.u32()?;
         let length = r.u64()?;
@@ -171,14 +176,53 @@ pub fn decode_store(bytes: &[u8]) -> Result<LoadedStore, StoreError> {
     Ok(LoadedStore { database, index, models, stats })
 }
 
+/// Upper bound on transparent retries of an I/O operation that failed with
+/// [`std::io::ErrorKind::Interrupted`]. Signal-interrupted reads and writes
+/// are transient by contract (the kernel made no progress), so retrying is
+/// always safe; the bound keeps a pathological signal storm — or an armed
+/// `persist.*.interrupted` fault with a large `times` — from looping forever.
+const MAX_IO_RETRIES: usize = 8;
+
+/// Runs `op`, transparently retrying up to [`MAX_IO_RETRIES`] times while it
+/// fails with `ErrorKind::Interrupted`. `fault` names the injection point
+/// that feeds synthetic interruptions into the same retry path the real
+/// signal would take, so the chaos suite can prove both the absorb case
+/// (few injections → `Ok`) and the exhaustion case (typed error, no hang).
+fn retry_interrupted<T>(
+    fault: &'static str,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    let mut retries = 0usize;
+    loop {
+        let result = match ust_fault::inject(fault) {
+            Some(message) => Err(std::io::Error::new(std::io::ErrorKind::Interrupted, message)),
+            None => op(),
+        };
+        match result {
+            Err(error)
+                if error.kind() == std::io::ErrorKind::Interrupted
+                    && retries < MAX_IO_RETRIES =>
+            {
+                retries += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
 /// Encodes `contents` and writes the store to `path` (atomically enough for
 /// the bench workflow: a fresh full write, no in-place patching).
+/// Signal-interrupted writes are retried (see `retry_interrupted`); other
+/// I/O failures surface as [`StoreError::Io`].
 pub fn write_store(
     path: impl AsRef<Path>,
     contents: &StoreContents<'_>,
 ) -> Result<StoreStats, StoreError> {
     let bytes = encode_store(contents);
-    std::fs::write(path, &bytes)?;
+    if let Some(message) = ust_fault::inject("persist.write.file") {
+        return Err(StoreError::Io { message });
+    }
+    retry_interrupted("persist.write.interrupted", || std::fs::write(&path, &bytes))?;
     Ok(StoreStats {
         bytes: bytes.len() as u64,
         sections: 1
@@ -193,9 +237,14 @@ pub fn write_store(
 
 /// Reads, decodes and validates a store file. The returned
 /// [`StoreStats::load_time`] covers the file read plus the decode.
+/// Signal-interrupted reads are retried (see `retry_interrupted`); other
+/// I/O failures surface as [`StoreError::Io`].
 pub fn read_store(path: impl AsRef<Path>) -> Result<LoadedStore, StoreError> {
     let started = Instant::now();
-    let bytes = std::fs::read(path)?;
+    if let Some(message) = ust_fault::inject("persist.read.file") {
+        return Err(StoreError::Io { message });
+    }
+    let bytes = retry_interrupted("persist.read.interrupted", || std::fs::read(&path))?;
     let mut loaded = decode_store(&bytes)?;
     loaded.stats.load_time = started.elapsed();
     Ok(loaded)

@@ -138,7 +138,26 @@ impl<const D: usize, T> RTree<D, T> {
         query: &Rect<D>,
         mut f: impl FnMut(&'a Rect<D>, &'a T),
     ) {
-        self.root.for_each_intersecting(query, &mut f);
+        match self.root.try_for_each_intersecting(query, &mut |rect, item| {
+            f(rect, item);
+            Ok::<(), std::convert::Infallible>(())
+        }) {
+            Ok(()) => {}
+            Err(never) => match never {},
+        }
+    }
+
+    /// Fallible form of [`RTree::for_each_intersecting`]: the traversal stops
+    /// at the first `Err` the visitor returns and propagates it. The visit
+    /// order of the `Ok` prefix is identical to the infallible form (the
+    /// UST-tree filter step relies on this for deterministic budget
+    /// checkpoints).
+    pub fn try_for_each_intersecting<'a, E>(
+        &'a self,
+        query: &Rect<D>,
+        mut f: impl FnMut(&'a Rect<D>, &'a T) -> Result<(), E>,
+    ) -> Result<(), E> {
+        self.root.try_for_each_intersecting(query, &mut f)
     }
 
     /// Generic pruned traversal.

@@ -107,28 +107,30 @@ impl<const D: usize, T> Node<D, T> {
         }
     }
 
-    /// Calls `f` for every item whose rectangle intersects `query`.
-    pub(super) fn for_each_intersecting<'a>(
+    /// Calls `f` for every item whose rectangle intersects `query`, stopping
+    /// the traversal at the first `Err` and propagating it.
+    pub(super) fn try_for_each_intersecting<'a, E>(
         &'a self,
         query: &Rect<D>,
-        f: &mut impl FnMut(&'a Rect<D>, &'a T),
-    ) {
+        f: &mut impl FnMut(&'a Rect<D>, &'a T) -> Result<(), E>,
+    ) -> Result<(), E> {
         match self {
             Node::Leaf(entries) => {
                 for e in entries {
                     if e.rect.intersects(query) {
-                        f(&e.rect, &e.item);
+                        f(&e.rect, &e.item)?;
                     }
                 }
             }
             Node::Internal(children) => {
                 for c in children {
                     if c.rect.intersects(query) {
-                        c.node.for_each_intersecting(query, f);
+                        c.node.try_for_each_intersecting(query, f)?;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Generic pruned traversal; see [`super::RTree::search_with`].
