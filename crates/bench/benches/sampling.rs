@@ -6,11 +6,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use ust_generator::{ObjectWorkloadConfig, SyntheticNetworkConfig};
-use ust_markov::AdaptedModel;
-use ust_sampling::{PosteriorSampler, SegmentedSampler, WorldSampler};
+use ust_markov::{AdaptedModel, AliasKernel, SparseDist};
+use ust_sampling::{
+    PosteriorSampler, SegmentedSampler, WorldBlock, WorldSampler, WORLD_BLOCK_WIDTH,
+};
 
 fn setup() -> (ust_markov::MarkovModel, Vec<Vec<(u32, u32)>>) {
     let network = SyntheticNetworkConfig { num_states: 2_000, branching_factor: 8.0, seed: 3 }
@@ -50,6 +52,27 @@ fn bench_posterior_sampler(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_alias_vs_cdf_draws(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    for support in [4usize, 32, 256] {
+        let mut seed_rng = StdRng::seed_from_u64(support as u64);
+        let mut row = SparseDist::from_pairs(
+            (0..support as u32).map(|s| (s, seed_rng.gen::<f64>() + 0.01)),
+        );
+        assert!(row.normalize());
+        let kernel = AliasKernel::from_steps([[(0u32, &row)]]);
+        group.bench_function(format!("alias_draw_support_{support}"), |b| {
+            let mut rng = StdRng::seed_from_u64(0);
+            b.iter(|| kernel.sample(0, 0, rng.gen::<f64>()).expect("non-empty row"))
+        });
+        group.bench_function(format!("cdf_draw_support_{support}"), |b| {
+            let mut rng = StdRng::seed_from_u64(0);
+            b.iter(|| row.sample_with(rng.gen::<f64>()).expect("non-empty row"))
+        });
+    }
+    group.finish();
+}
+
 fn bench_world_sampler(c: &mut Criterion) {
     let (model, obs) = setup();
     let models: Vec<_> = obs
@@ -63,8 +86,14 @@ fn bench_world_sampler(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(1);
         b.iter(|| sampler.sample_world(&mut rng))
     });
+    let horizon = sampler.models().iter().map(|(_, m)| m.end()).max().unwrap_or(0);
+    group.bench_function("sample_block_64_worlds_16_objects", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut block = WorldBlock::for_sampler(&sampler, horizon, WORLD_BLOCK_WIDTH);
+        b.iter(|| block.fill(&mut rng, WORLD_BLOCK_WIDTH))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_posterior_sampler, bench_world_sampler);
+criterion_group!(benches, bench_posterior_sampler, bench_alias_vs_cdf_draws, bench_world_sampler);
 criterion_main!(benches);

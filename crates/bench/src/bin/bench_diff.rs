@@ -1,0 +1,57 @@
+//! Diffs a fresh `BENCH_*.json` snapshot against its committed baseline.
+//!
+//! ```text
+//! bench_diff --baseline BENCH_sampling.json --current BENCH_sampling.current.json
+//! ```
+//!
+//! Exits 0 when every tracked metric is within tolerance
+//! ([`ust_bench::perf::DiffTolerance`]), 1 with one line per finding when the
+//! trajectory regressed, and 2 on usage or parse errors. CI runs this after
+//! `bench_sampling_perf`; a failure means either a genuine regression or a
+//! deliberate kernel change whose baseline must be refreshed and committed.
+
+use ust_bench::json::Json;
+use ust_bench::perf::{diff_reports, DiffTolerance};
+
+fn usage_and_exit(message: &str) -> ! {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!("usage: bench_diff --baseline <path> --current <path>");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage_and_exit(&format!("cannot read {path}: {e}")));
+    Json::parse(&text).unwrap_or_else(|e| usage_and_exit(&format!("cannot parse {path}: {e:?}")))
+}
+
+fn main() {
+    let mut baseline = None;
+    let mut current = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = args.next(),
+            "--current" => current = args.next(),
+            "--help" | "-h" => usage_and_exit(""),
+            other => usage_and_exit(&format!("unknown argument: {other}")),
+        }
+    }
+    let baseline_path = baseline.unwrap_or_else(|| usage_and_exit("--baseline is required"));
+    let current_path = current.unwrap_or_else(|| usage_and_exit("--current is required"));
+    let findings =
+        diff_reports(&load(&baseline_path), &load(&current_path), &DiffTolerance::default());
+    if findings.is_empty() {
+        println!(
+            "perf trajectory holds: {current_path} is within tolerance of {baseline_path}"
+        );
+        return;
+    }
+    eprintln!("perf trajectory regressed ({} finding(s)):", findings.len());
+    for finding in &findings {
+        eprintln!("  - {finding}");
+    }
+    std::process::exit(1);
+}

@@ -26,6 +26,7 @@ pub mod efficiency;
 pub mod errors;
 pub mod ingest;
 pub mod json;
+pub mod perf;
 pub mod report;
 pub mod sampling_efficiency;
 pub mod storecheck;

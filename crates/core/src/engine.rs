@@ -34,7 +34,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use ust_index::{IndexBuildStats, UstTree, UstTreeConfig};
 use ust_markov::{AdaptedModel, ModelAdaptation};
-use ust_sampling::{PossibleWorld, WorldSampler};
+use ust_sampling::{WorldBlock, WorldSampler, WORLD_BLOCK_WIDTH};
 use ust_spatial::Point;
 use ust_trajectory::TrajectoryDatabase;
 
@@ -460,14 +460,16 @@ impl<'a> QueryEngine<'a> {
     /// of worlds in which the candidate is a NN there) and, for every
     /// influence object, the number of worlds with at least one NN timestamp.
     ///
-    /// The loop is allocation-free per world: trajectories are sampled into a
-    /// reused buffer ([`WorldSampler::sample_world_into`]), NN membership is
-    /// decided from a reused distance scratch vector, and hits are recorded as
-    /// single bits in the candidates' world-set columns — the old path built a
-    /// hash-mapped [`ust_trajectory::NnTimeProfile`] plus one cloned
-    /// [`ust_trajectory::TimeMask`] per candidate per world. RNG consumption
-    /// is unchanged, so the sampled worlds (and therefore all probability
-    /// estimates) are bit-identical to the mask-based implementation.
+    /// Worlds are drawn in blocks of [`WORLD_BLOCK_WIDTH`] = 64 into a
+    /// structure-of-arrays [`WorldBlock`]: each transition is an O(1)
+    /// alias-table draw (`ust-markov`), and for every `(object, timestamp)`
+    /// the 64 worlds of a block sit in one contiguous row. The NN evaluation
+    /// accumulates one `u64` of hit bits per candidate per timestamp per
+    /// block and lands it with a single [`WorldSet::or_word`], and per-object
+    /// ∃-membership is one `count_ones` per block instead of per-world
+    /// bookkeeping. The block width equals [`WORLD_CHECK_INTERVAL`], so
+    /// budget checkpoints fire at exactly the world indices the per-world
+    /// loop probed at, and degraded runs stop at the same block boundaries.
     fn sample(
         &self,
         query: &Query,
@@ -518,13 +520,10 @@ impl<'a> QueryEngine<'a> {
         let slot_of: Vec<Option<usize>> =
             world_ids.iter().map(|id| candidate_slot.get(id).copied()).collect();
         let mut exists_counts: Vec<usize> = vec![0; world_ids.len()];
-        let mut exists_this_world: Vec<bool> = vec![false; world_ids.len()];
-        let mut touched: Vec<usize> = Vec::with_capacity(world_ids.len());
         let query_positions: Vec<Point> = times
             .iter()
             .map(|&t| query.position_at(t).expect("query validated"))
             .collect();
-        let mut world = PossibleWorld::empty();
         // Scratch: distances of the objects alive at the current timestamp,
         // as (distance², world position) pairs.
         let mut alive: Vec<(f64, usize)> = Vec::with_capacity(world_ids.len());
@@ -533,11 +532,20 @@ impl<'a> QueryEngine<'a> {
         // walk prefixes up to `query.end()` are materialised (the tail steps
         // still burn their RNG draws, keeping worlds bit-identical).
         let horizon = query.end();
+        // One 64-world SoA block, refilled per iteration; its width matching
+        // the budget-probe interval keeps checkpoint placement identical to
+        // the retired per-world loop.
+        const _: () = assert!(WORLD_BLOCK_WIDTH == WORLD_CHECK_INTERVAL);
+        let mut block = WorldBlock::for_sampler(&sampler, horizon, WORLD_BLOCK_WIDTH);
+        // Per block: one word of candidate hits per (candidate, timestamp)
+        // and one word of ∃-membership per influence object.
+        let mut hit_words: Vec<u64> = vec![0; sorted_candidates.len()];
+        let mut exists_words: Vec<u64> = vec![0; world_ids.len()];
         let mut worlds_done = 0usize;
-        for w in 0..num_worlds {
+        while worlds_done < num_worlds {
             // Deadline breaches degrade: the worlds sampled so far are a
             // valid (smaller) Monte-Carlo run. Cancellation always errors.
-            if w > 0 && w.is_multiple_of(WORLD_CHECK_INTERVAL) {
+            if worlds_done > 0 {
                 match gauge.probe(QueryPhase::Sampling)? {
                     Verdict::Continue => {}
                     Verdict::Degrade => {
@@ -546,51 +554,62 @@ impl<'a> QueryEngine<'a> {
                     }
                 }
             }
-            sampler.sample_world_prefix_into(&mut rng, &mut world, horizon);
-            let trajectories = world.trajectories();
+            let count = WORLD_BLOCK_WIDTH.min(num_worlds - worlds_done);
+            block.fill(&mut rng, count);
+            let word_index = worlds_done / 64;
+            // Per-object world rows of the current timestamp, hoisted out of
+            // the 64-world scan.
+            let mut rows: Vec<Option<&[u32]>> = Vec::with_capacity(world_ids.len());
             for (i, &t) in times.iter().enumerate() {
                 if k == 0 {
                     break;
                 }
                 let q = &query_positions[i];
-                alive.clear();
-                for (j, (_, trajectory)) in trajectories.iter().enumerate() {
-                    if let Some(s) = trajectory.state_at(t) {
-                        alive.push((space.position(s).dist2(q), j));
+                hit_words.fill(0);
+                rows.clear();
+                rows.extend((0..world_ids.len()).map(|j| block.states_at(j, t)));
+                for w in 0..count {
+                    alive.clear();
+                    for (j, row) in rows.iter().enumerate() {
+                        if let Some(row) = row {
+                            alive.push((space.position(row[w]).dist2(q), j));
+                        }
+                    }
+                    if alive.is_empty() {
+                        continue;
+                    }
+                    // NN membership cutoff: the k-th smallest distance; every
+                    // object at or below it is in the kNN set (boundary ties
+                    // included), matching the tie semantics of
+                    // `ust_trajectory::nn`.
+                    let cutoff = if k == 1 {
+                        alive.iter().map(|&(d, _)| d).fold(f64::INFINITY, f64::min)
+                    } else {
+                        let nth = (k - 1).min(alive.len() - 1);
+                        alive.select_nth_unstable_by(nth, |a, b| a.0.total_cmp(&b.0));
+                        alive[nth].0
+                    };
+                    let bit = 1u64 << w;
+                    for &(d, j) in &alive {
+                        if d <= cutoff {
+                            exists_words[j] |= bit;
+                            if let Some(slot) = slot_of[j] {
+                                hit_words[slot] |= bit;
+                            }
+                        }
                     }
                 }
-                if alive.is_empty() {
-                    continue;
-                }
-                // NN membership cutoff: the k-th smallest distance; every
-                // object at or below it is in the kNN set (boundary ties
-                // included), matching the tie semantics of
-                // `ust_trajectory::nn`.
-                let cutoff = if k == 1 {
-                    alive.iter().map(|&(d, _)| d).fold(f64::INFINITY, f64::min)
-                } else {
-                    let nth = (k - 1).min(alive.len() - 1);
-                    alive.select_nth_unstable_by(nth, |a, b| a.0.total_cmp(&b.0));
-                    alive[nth].0
-                };
-                for &(d, j) in &alive {
-                    if d <= cutoff {
-                        if !exists_this_world[j] {
-                            exists_this_world[j] = true;
-                            touched.push(j);
-                        }
-                        if let Some(slot) = slot_of[j] {
-                            candidate_worlds[slot].1.record(i, w);
-                        }
+                for (slot, &bits) in hit_words.iter().enumerate() {
+                    if bits != 0 {
+                        candidate_worlds[slot].1.or_word(i, word_index, bits);
                     }
                 }
             }
-            for &j in &touched {
-                exists_counts[j] += 1;
-                exists_this_world[j] = false;
+            for (j, word) in exists_words.iter_mut().enumerate() {
+                exists_counts[j] += word.count_ones() as usize;
+                *word = 0;
             }
-            touched.clear();
-            worlds_done = w + 1;
+            worlds_done += count;
         }
         let sampling_time = start.elapsed();
         if worlds_done < num_worlds {

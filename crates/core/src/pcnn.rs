@@ -149,6 +149,26 @@ impl WorldSet {
         self.words[time * self.stride + world / 64] |= 1u64 << (world % 64);
     }
 
+    /// ORs a whole word of world bits into the column of timestamp index
+    /// `time`: bit `b` of `bits` marks world `word_index * 64 + b`. This is
+    /// the block-sampling feed — the engine builds one `u64` of hits per
+    /// candidate per timestamp per 64-world block and lands it with a single
+    /// OR instead of 64 [`record`](Self::record) calls.
+    ///
+    /// # Panics
+    /// Panics if `time` or `word_index` is out of range, or if `bits` sets a
+    /// bit at or beyond the world count.
+    #[inline]
+    pub fn or_word(&mut self, time: usize, word_index: usize, bits: u64) {
+        assert!(time < self.num_times, "time index {time} out of range ({})", self.num_times);
+        assert!(word_index < self.stride, "word index {word_index} out of range ({})", self.stride);
+        let valid = self.num_worlds.saturating_sub(word_index * 64);
+        if valid < 64 {
+            assert_eq!(bits >> valid, 0, "bits beyond the world count ({}) must be zero", self.num_worlds);
+        }
+        self.words[time * self.stride + word_index] |= bits;
+    }
+
     /// Marks every timestamp set in `mask` for the given world (the bridge
     /// from the horizontal per-world representation).
     ///

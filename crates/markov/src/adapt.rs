@@ -31,6 +31,7 @@
 //!    yields both the a-posteriori transition matrices `F^o(t)` and the
 //!    a-posteriori marginals `P(o(t) = s | Θ^o)`.
 
+use crate::alias::AliasKernel;
 use crate::model::TransitionModel;
 use crate::sparse::SparseDist;
 use crate::{StateId, Timestamp};
@@ -128,6 +129,16 @@ impl TransitionTable {
     /// Iterates over `(source state, outgoing distribution)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (StateId, &SparseDist)> {
         self.rows.iter().map(|(&s, d)| (s, d))
+    }
+
+    /// The rows sorted by ascending source state. The backing map is
+    /// unordered, so this is the canonical deterministic view — it is what
+    /// [`AliasKernel`] construction consumes, keeping the kernel layout
+    /// byte-identical across platforms and runs.
+    pub fn sorted_rows(&self) -> Vec<(StateId, &SparseDist)> {
+        let mut rows: Vec<(StateId, &SparseDist)> = self.iter().collect();
+        rows.sort_unstable_by_key(|&(s, _)| s);
+        rows
     }
 }
 
@@ -265,12 +276,14 @@ impl ModelAdaptation {
             posterior[step] = dist;
         }
 
+        let kernel = AliasKernel::from_steps(transitions.iter().map(TransitionTable::sorted_rows));
         Ok(AdaptedModel {
             start,
             end,
             forward,
             posterior,
             transitions,
+            kernel,
             observations: observations.to_vec(),
         })
     }
@@ -291,6 +304,11 @@ pub struct AdaptedModel {
     /// `transitions[k]`: F(start+k), i.e. rows
     /// P(o(start+k+1) = s_j | o(start+k) = s_i, Θ).
     transitions: Vec<TransitionTable>,
+    /// Precomputed Walker/Vose alias tables over all transition rows — the
+    /// O(1) sampling kernel behind [`AdaptedModel::sample_transition`]. A
+    /// deterministic pure function of `transitions`, rebuilt on store load
+    /// rather than serialized.
+    kernel: AliasKernel,
     observations: Vec<(Timestamp, StateId)>,
 }
 
@@ -332,7 +350,11 @@ impl AdaptedModel {
         if transitions.len() != horizon {
             return Err("transition-table count must equal the horizon");
         }
-        Ok(AdaptedModel { start, end, forward, posterior, transitions, observations })
+        // The alias kernel is a deterministic function of the transition
+        // rows, so it is rebuilt here instead of being serialized — the
+        // `.ustore` format carries only the rows (see `ust-persist`).
+        let kernel = AliasKernel::from_steps(transitions.iter().map(TransitionTable::sorted_rows));
+        Ok(AdaptedModel { start, end, forward, posterior, transitions, kernel, observations })
     }
 
     /// First observed timestamp.
@@ -391,6 +413,29 @@ impl AdaptedModel {
             return None;
         }
         Some(&self.transitions[(t - self.start) as usize])
+    }
+
+    /// Draws the next state for the step `t → t+1` out of `state` with one
+    /// uniform `u ∈ [0, 1)`, answered in O(1) by the precomputed alias
+    /// kernel after a binary row search.
+    ///
+    /// Returns `None` under exactly the conditions where
+    /// [`AdaptedModel::transition_row`] does (step outside `[start, end)` or
+    /// `state` unreachable at `t`), and draws each target with exactly the
+    /// probability of that row — distributionally equivalent to an
+    /// inverse-CDF scan via [`SparseDist::sample_with`], though the
+    /// individual `u → state` mapping differs.
+    #[inline]
+    pub fn sample_transition(&self, t: Timestamp, state: StateId, u: f64) -> Option<StateId> {
+        if t < self.start || t >= self.end {
+            return None;
+        }
+        self.kernel.sample((t - self.start) as usize, state, u)
+    }
+
+    /// The precomputed O(1) alias-table sampling kernel over all steps.
+    pub fn alias_kernel(&self) -> &AliasKernel {
+        &self.kernel
     }
 
     /// States with non-zero a-posteriori probability at time `t`.

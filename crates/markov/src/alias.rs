@@ -1,0 +1,348 @@
+//! Walker/Vose alias tables over CSR-laid-out adapted transition rows.
+//!
+//! The Monte-Carlo refinement phase draws one transition per object per chain
+//! step per sampled world — at paper scale (10 000 worlds, hundreds of
+//! influence objects, tens of timestamps) that is easily 10⁷–10⁸ categorical
+//! draws per query. [`crate::SparseDist::sample_with`] answers each draw with
+//! a linear inverse-CDF scan, O(support) per draw and one pointer chase per
+//! row lookup (`FxHashMap` row → `Vec` entries).
+//!
+//! An [`AliasKernel`] precomputes, once per [`crate::AdaptedModel`], the
+//! Walker/Vose alias table of every reachable transition row and lays all of
+//! them out in flat CSR-style arenas:
+//!
+//! * `step_starts` — per chain step `k`, the range of rows of `F(start+k)`,
+//! * `sources` / `row_starts` — per row, its source state (sorted within the
+//!   step) and the range of its slots,
+//! * `cols` / `probs` — per slot, the target state and its probability (the
+//!   plain CSR image of the row, used by scans and equivalence tests),
+//! * `threshold` / `alias` — per slot, the Vose acceptance threshold and the
+//!   aliased target.
+//!
+//! A draw is then O(1) after one binary search over the step's sources:
+//! `u · n` selects a slot, its fractional part is compared against the slot's
+//! threshold, and either the slot's own column or its alias wins. Exactly one
+//! uniform `u ∈ [0, 1)` is consumed per transition — the same RNG-draw
+//! discipline as the inverse-CDF path, so prefix sampling and draw-burning
+//! keep working unchanged on top of either kernel.
+//!
+//! Alias draws consume `u` differently from inverse-CDF draws, so the two
+//! paths are *not* bit-identical per world; they are distributionally
+//! identical (each target is selected with exactly its row probability, up to
+//! f64 rounding of `p·n/mass`), which the equivalence suite in
+//! `tests/alias_equivalence.rs` pins by construction checks and frequency
+//! comparison on shared `u` streams.
+//!
+//! Construction is deterministic: rows are visited in (step, source-id)
+//! order, the Vose small/large worklists are filled in increasing slot order
+//! and drained LIFO, so equal inputs produce byte-equal kernels on every
+//! platform and thread count.
+
+use crate::sparse::SparseDist;
+use crate::StateId;
+
+/// One flattened alias-table slot range: the half-open `[start, end)` window
+/// into the kernel's slot arenas belonging to one transition row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SlotRange {
+    start: usize,
+    end: usize,
+}
+
+/// Precomputed O(1) sampling kernel of an adapted model: per chain step, the
+/// Walker/Vose alias tables of every reachable row, in flat CSR arenas.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AliasKernel {
+    /// `step_starts[k]..step_starts[k+1]` indexes the rows of step `k` in
+    /// `sources`/`row_starts`. Length `num_steps + 1`.
+    step_starts: Vec<u32>,
+    /// Source state of each row, strictly increasing within a step.
+    sources: Vec<StateId>,
+    /// `row_starts[r]..row_starts[r+1]` indexes the slots of row `r` in
+    /// `cols`/`probs`/`threshold`/`alias`. Length `sources.len() + 1`.
+    row_starts: Vec<u32>,
+    /// Primary target state of each slot (the CSR column array).
+    cols: Vec<StateId>,
+    /// Probability of the slot's primary target (the CSR value array; feeds
+    /// scans and tests, not the draw itself).
+    probs: Vec<f64>,
+    /// Vose acceptance threshold of each slot, in `[0, 1]`.
+    threshold: Vec<f64>,
+    /// Aliased target state of each slot (drawn when the fractional part of
+    /// `u·n` lands at or above the threshold).
+    alias: Vec<StateId>,
+}
+
+impl AliasKernel {
+    /// Builds the kernel from per-step `(source, row)` lists.
+    ///
+    /// Each step's rows must be sorted by strictly increasing source state —
+    /// [`crate::adapt::TransitionTable::sorted_rows`] provides exactly that —
+    /// so the per-draw binary search and the deterministic layout hold.
+    pub fn from_steps<'a, I, R>(steps: I) -> Self
+    where
+        I: IntoIterator<Item = R>,
+        R: IntoIterator<Item = (StateId, &'a SparseDist)>,
+    {
+        let mut kernel = AliasKernel {
+            step_starts: vec![0],
+            sources: Vec::new(),
+            row_starts: vec![0],
+            cols: Vec::new(),
+            probs: Vec::new(),
+            threshold: Vec::new(),
+            alias: Vec::new(),
+        };
+        for step in steps {
+            for (source, row) in step {
+                debug_assert!(
+                    kernel.sources.len() + 1 == kernel.row_starts.len()
+                        && (kernel.step_starts.last().copied().unwrap_or(0) as usize
+                            == kernel.sources.len()
+                            || kernel.sources.last().is_none_or(|&prev| prev < source)),
+                    "rows of a step must arrive in strictly increasing source order"
+                );
+                kernel.push_row(source, row);
+            }
+            kernel.step_starts.push(kernel.sources.len() as u32);
+        }
+        kernel
+    }
+
+    /// Appends one row: records its CSR image and runs Vose's O(n) alias
+    /// construction on it.
+    fn push_row(&mut self, source: StateId, row: &SparseDist) {
+        let base = self.cols.len();
+        for (state, p) in row.iter() {
+            self.cols.push(state);
+            self.probs.push(p);
+        }
+        let n = self.cols.len() - base;
+        self.sources.push(source);
+        self.row_starts.push(self.cols.len() as u32);
+        if n == 0 {
+            return;
+        }
+        // Vose: scale each probability by n/mass, split slots into "small"
+        // (< 1) and "large" (≥ 1), and repeatedly pair one of each — the
+        // small slot keeps its own target below its threshold and borrows the
+        // large slot's target above it. Worklists are filled in slot order
+        // and drained from the back, so the construction is deterministic.
+        let mass = row.total_mass();
+        let mut scaled: Vec<f64> = self.probs[base..].iter().map(|&p| p * n as f64 / mass).collect();
+        self.threshold.resize(base + n, 1.0);
+        self.alias.extend_from_slice(&self.cols[base..]);
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            self.threshold[base + s] = scaled[s];
+            self.alias[base + s] = self.cols[base + l];
+            // The large slot donated `1 - scaled[s]` of its mass.
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers (all ≈ 1 up to rounding) keep threshold 1.0 / self-alias
+        // from the initialisation above: they always accept their own target.
+    }
+
+    /// Number of chain steps covered.
+    #[inline]
+    pub fn num_steps(&self) -> usize {
+        self.step_starts.len() - 1
+    }
+
+    /// Total number of stored rows across all steps.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Total number of slots (non-zero transition entries) across all rows.
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The slot window of `(step, source)`, found by binary search over the
+    /// step's sorted sources. `None` if the step is out of range or the
+    /// source has no row there.
+    #[inline]
+    fn row_range(&self, step: usize, source: StateId) -> Option<SlotRange> {
+        let lo = *self.step_starts.get(step)? as usize;
+        let hi = *self.step_starts.get(step + 1)? as usize;
+        let r = lo + self.sources[lo..hi].binary_search(&source).ok()?;
+        Some(SlotRange {
+            start: self.row_starts[r] as usize,
+            end: self.row_starts[r + 1] as usize,
+        })
+    }
+
+    /// The CSR image of a row: parallel `(targets, probabilities)` slices.
+    pub fn row(&self, step: usize, source: StateId) -> Option<(&[StateId], &[f64])> {
+        let range = self.row_range(step, source)?;
+        Some((&self.cols[range.start..range.end], &self.probs[range.start..range.end]))
+    }
+
+    /// Draws from the row of `(step, source)` with one uniform `u ∈ [0, 1)`:
+    /// one binary search for the row, then an O(1) alias pick. Returns `None`
+    /// if the row does not exist or is empty.
+    ///
+    /// `u` obeys the same `[0, 1)` contract as
+    /// [`SparseDist::sample_with`](crate::SparseDist::sample_with).
+    #[inline]
+    pub fn sample(&self, step: usize, source: StateId, u: f64) -> Option<StateId> {
+        debug_assert!(
+            u.is_finite() && (0.0..1.0).contains(&u),
+            "alias sample requires u in [0, 1), got {u}"
+        );
+        let range = self.row_range(step, source)?;
+        let n = range.end - range.start;
+        if n == 0 {
+            return None;
+        }
+        let scaled = u * n as f64;
+        // `u` close to 1 can round `u·n` up to `n` for large rows; clamp to
+        // the last slot (the standard guard of the alias method).
+        let idx = (scaled as usize).min(n - 1);
+        let frac = scaled - idx as f64;
+        let slot = range.start + idx;
+        Some(if frac < self.threshold[slot] { self.cols[slot] } else { self.alias[slot] })
+    }
+
+    /// The exact probability the alias table assigns to `target` in the row
+    /// of `(step, source)` under a uniform `u`: the Lebesgue measure of the
+    /// `u`-values that select it. Used by the equivalence tests to prove the
+    /// table is a faithful encoding of the row, independent of sampling.
+    pub fn table_probability(&self, step: usize, source: StateId, target: StateId) -> f64 {
+        let Some(range) = self.row_range(step, source) else { return 0.0 };
+        let n = range.end - range.start;
+        if n == 0 {
+            return 0.0;
+        }
+        let mut measure = 0.0;
+        for slot in range.start..range.end {
+            if self.cols[slot] == target {
+                measure += self.threshold[slot];
+            }
+            if self.alias[slot] == target {
+                measure += 1.0 - self.threshold[slot];
+            }
+        }
+        measure / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_of(rows: Vec<(StateId, SparseDist)>) -> AliasKernel {
+        AliasKernel::from_steps(vec![rows.iter().map(|(s, d)| (*s, d))])
+    }
+
+    #[test]
+    fn empty_kernel_has_no_rows() {
+        let k = AliasKernel::from_steps(Vec::<Vec<(StateId, &SparseDist)>>::new());
+        assert_eq!(k.num_steps(), 0);
+        assert_eq!(k.num_rows(), 0);
+        assert!(k.sample(0, 0, 0.5).is_none());
+    }
+
+    #[test]
+    fn delta_row_always_returns_its_single_target() {
+        let k = kernel_of(vec![(3, SparseDist::delta(7))]);
+        assert_eq!(k.num_slots(), 1);
+        for u in [0.0, 0.25, 0.999] {
+            assert_eq!(k.sample(0, 3, u), Some(7));
+        }
+        assert_eq!(k.sample(0, 4, 0.5), None, "missing source has no row");
+        assert_eq!(k.sample(1, 3, 0.5), None, "step out of range");
+    }
+
+    #[test]
+    fn table_measure_reproduces_row_probabilities_exactly() {
+        // Probabilities with exact binary representations, so the Vose
+        // scaling is lossless and the slot measures must recover them
+        // bit-for-bit.
+        let row = SparseDist::from_pairs(vec![(10, 0.5), (20, 0.25), (30, 0.125), (40, 0.125)]);
+        let k = kernel_of(vec![(0, row.clone())]);
+        for (state, p) in row.iter() {
+            assert_eq!(k.table_probability(0, 0, state), p, "state {state}");
+        }
+        assert_eq!(k.table_probability(0, 0, 99), 0.0);
+    }
+
+    #[test]
+    fn heavy_tail_row_measures_match_within_rounding() {
+        let row = SparseDist::from_pairs((0..64u32).map(|s| (s, 0.97f64.powi(s as i32))));
+        let k = kernel_of(vec![(0, row.clone())]);
+        let mass = row.total_mass();
+        for (state, p) in row.iter() {
+            let want = p / mass;
+            let got = k.table_probability(0, 0, state);
+            assert!((got - want).abs() < 1e-12, "state {state}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn sampling_never_leaves_the_support_and_hits_every_state() {
+        let row = SparseDist::from_pairs(vec![(2, 0.1), (5, 0.6), (9, 0.3)]);
+        let k = kernel_of(vec![(1, row.clone())]);
+        let support: Vec<StateId> = row.support().collect();
+        let mut seen = [false; 3];
+        // A deterministic low-discrepancy sweep of u.
+        for i in 0..10_000 {
+            let u = (i as f64 + 0.5) / 10_000.0;
+            let s = k.sample(0, 1, u).unwrap();
+            let pos = support.binary_search(&s).expect("target inside the support");
+            seen[pos] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "every support state is reachable");
+    }
+
+    #[test]
+    fn top_of_range_u_is_clamped_to_the_last_slot() {
+        let row = SparseDist::uniform(0..1000u32);
+        let k = kernel_of(vec![(0, row)]);
+        let max_u = 1.0 - f64::EPSILON / 2.0;
+        assert!(k.sample(0, 0, max_u).is_some(), "u → 1 must not index past the slots");
+    }
+
+    #[test]
+    fn multi_step_layout_keeps_rows_separate() {
+        let k = AliasKernel::from_steps(vec![
+            vec![(0u32, &SparseDist::delta(1)), (2, &SparseDist::delta(3))],
+            vec![(1u32, &SparseDist::delta(2))],
+        ]);
+        assert_eq!(k.num_steps(), 2);
+        assert_eq!(k.num_rows(), 3);
+        assert_eq!(k.sample(0, 0, 0.5), Some(1));
+        assert_eq!(k.sample(0, 2, 0.5), Some(3));
+        assert_eq!(k.sample(1, 1, 0.5), Some(2));
+        assert_eq!(k.sample(1, 0, 0.5), None);
+        let (cols, probs) = k.row(0, 2).unwrap();
+        assert_eq!(cols, &[3]);
+        assert_eq!(probs, &[1.0]);
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let rows: Vec<(StateId, SparseDist)> = (0..20u32)
+            .map(|s| (s, SparseDist::from_pairs((0..8u32).map(|t| (t, (s + t + 1) as f64)))))
+            .collect();
+        let a = kernel_of(rows.clone());
+        let b = kernel_of(rows);
+        assert_eq!(a, b, "equal inputs must produce byte-equal kernels");
+    }
+}

@@ -15,6 +15,16 @@ use rustc_hash::FxHashMap;
 /// Numerical tolerance used for stochasticity checks.
 pub const PROB_EPSILON: f64 = 1e-9;
 
+/// Smallest total mass [`SparseDist::normalize`] accepts.
+///
+/// Dividing by a (near-)subnormal mass can overflow entries to `inf` while
+/// the division itself "succeeds"; the guard is drawn from the same tolerance
+/// family as [`PROB_EPSILON`]: any mass small enough that `entry / mass`
+/// could exceed `1 / PROB_EPSILON` × the largest finite ratio is treated as
+/// zero. `f64::MIN_POSITIVE / PROB_EPSILON` ≈ 2.2e-299 keeps every division
+/// on normalized floats with lossless headroom.
+pub const MIN_NORMALIZABLE_MASS: f64 = f64::MIN_POSITIVE * (1.0 / PROB_EPSILON);
+
 // ---------------------------------------------------------------------------
 // SparseDist
 // ---------------------------------------------------------------------------
@@ -132,10 +142,12 @@ impl SparseDist {
     /// Scales all probabilities so they sum to one.
     ///
     /// Returns `false` (and leaves the distribution untouched) if the total
-    /// mass is zero.
+    /// mass is zero, NaN, or too small to divide by without producing
+    /// non-finite entries ([`MIN_NORMALIZABLE_MASS`]).
     pub fn normalize(&mut self) -> bool {
         let mass = self.total_mass();
-        if mass <= 0.0 {
+        // The explicit NaN arm matters: `mass < t` alone would let NaN through.
+        if mass.is_nan() || mass < MIN_NORMALIZABLE_MASS {
             return false;
         }
         for (_, p) in &mut self.entries {
@@ -151,19 +163,36 @@ impl SparseDist {
     }
 
     /// The most likely state, or `None` for an empty distribution.
+    ///
+    /// Probability ties resolve to the **lowest** state id. (`max_by` alone
+    /// would return the last maximum, i.e. the highest id — an arbitrary
+    /// winner nothing downstream pins; the explicit tiebreak keeps argmax
+    /// tracks deterministic and documented.)
     pub fn argmax(&self) -> Option<StateId> {
         self.entries
             .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
             .map(|&(s, _)| s)
     }
 
     /// Consumes a uniform random number `u ∈ [0, 1)` and returns the sampled
     /// state (inverse-CDF sampling). Returns `None` for an empty distribution.
     ///
+    /// `u` **must** lie in `[0, 1)`: a `u ≥ 1` or NaN fails every
+    /// `target < acc` comparison and would be silently mapped to the last
+    /// support state by the numerical-slack fallback below, skewing the
+    /// distribution. The contract is asserted in debug builds; every
+    /// `ust-sampling` call site draws `u` via `rand`'s `gen::<f64>()`, whose
+    /// `(next_u64() >> 11) · 2⁻⁵³` construction is confined to
+    /// `[0, 1 − 2⁻⁵³] ⊂ [0, 1)`.
+    ///
     /// Keeping the RNG outside this crate keeps `ust-markov` free of any
     /// randomness dependency; the samplers in `ust-sampling` provide `u`.
     pub fn sample_with(&self, u: f64) -> Option<StateId> {
+        debug_assert!(
+            u.is_finite() && (0.0..1.0).contains(&u),
+            "sample_with requires u in [0, 1), got {u}"
+        );
         if self.entries.is_empty() {
             return None;
         }
@@ -175,7 +204,11 @@ impl SparseDist {
                 return Some(s);
             }
         }
-        // Numerical slack: fall back to the last state.
+        // Numerical slack: for a valid `u` this is reachable only when the
+        // mass is (near-)subnormal, so that `u * mass` rounds up to the final
+        // `acc` (both are the same left-to-right fold; see the pinning test
+        // `float_slack_fallback_is_reachable_only_at_subnormal_mass`). Fall
+        // back to the last state.
         self.entries.last().map(|&(s, _)| s)
     }
 
@@ -395,6 +428,73 @@ mod tests {
         assert_eq!(d.sample_with(0.51), Some(30));
         assert_eq!(d.sample_with(0.999999), Some(30));
         assert_eq!(SparseDist::new().sample_with(0.5), None);
+    }
+
+    #[test]
+    fn argmax_ties_resolve_to_the_lowest_state_id() {
+        // Exact ties in both directions of entry order.
+        let d = SparseDist::from_pairs(vec![(3, 0.25), (9, 0.25), (5, 0.5)]);
+        assert_eq!(d.argmax(), Some(5));
+        let tied = SparseDist::from_pairs(vec![(2, 0.5), (7, 0.5)]);
+        assert_eq!(tied.argmax(), Some(2), "probability ties pick the lowest id");
+        let all_tied = SparseDist::uniform(vec![11, 4, 8]);
+        assert_eq!(all_tied.argmax(), Some(4));
+        assert_eq!(SparseDist::new().argmax(), None);
+    }
+
+    #[test]
+    fn normalize_rejects_subnormal_mass_untouched() {
+        // Two minimal subnormals: total mass 1e-323. The old code divided by
+        // it (yielding inf/NaN entries) while still returning `true`.
+        let mut d = SparseDist::from_pairs(vec![(0, 5e-324), (1, 5e-324)]);
+        let before: Vec<_> = d.iter().collect();
+        assert!(!d.normalize(), "subnormal mass must be treated as zero");
+        assert_eq!(d.iter().collect::<Vec<_>>(), before, "distribution left untouched");
+        assert!(d.iter().all(|(_, p)| p.is_finite()));
+
+        // Just above the guard the division is safe and must still work.
+        let mut ok = SparseDist::from_pairs(vec![(0, MIN_NORMALIZABLE_MASS)]);
+        assert!(ok.normalize());
+        assert!(ok.is_normalized());
+    }
+
+    #[test]
+    fn float_slack_fallback_is_reachable_only_at_subnormal_mass() {
+        // For a *normal* total mass the slack fallback is dead code: the scan
+        // accumulates the exact same left-to-right fold as the cached mass,
+        // and `fl(u · mass) < mass` for every u ∈ [0, 1) on normalized
+        // floats. Exhaust the worst case — u at the top of the range — over
+        // distributions with awkward masses.
+        let max_u = 1.0 - f64::EPSILON / 2.0; // largest f64 below 1.0
+        for mass in [1.0, 0.1 + 0.2, 3.0, 1e-300, 1e308] {
+            let d = SparseDist::from_pairs(vec![(0, mass * 0.5), (1, mass * 0.5)]);
+            // The scan's final accumulator is the same fold as the cached
+            // mass, so `target < mass` proves the loop returns before the
+            // fallback line.
+            assert!(
+                max_u * d.total_mass() < d.total_mass(),
+                "normal mass {mass}: u·mass must stay below the final accumulator"
+            );
+            assert_eq!(d.sample_with(max_u), Some(1), "top-of-range u picks the last state");
+        }
+        // A genuinely subnormal mass *does* reach the fallback: the product
+        // `u · mass` rounds up to the full mass, so no prefix satisfies
+        // `target < acc` and the documented last-state fallback fires.
+        let d = SparseDist::from_pairs(vec![(0, 5e-324), (1, 5e-324)]);
+        let target = max_u * d.total_mass();
+        assert_eq!(
+            target.to_bits(),
+            d.total_mass().to_bits(),
+            "u · mass rounds up to the exact total at subnormal scale"
+        );
+        assert_eq!(d.sample_with(max_u), Some(1), "fallback maps to the last state");
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_with requires u in [0, 1)")]
+    #[cfg(debug_assertions)]
+    fn sample_with_rejects_out_of_contract_u() {
+        SparseDist::delta(0).sample_with(1.0);
     }
 
     fn small_chain() -> CsrMatrix {

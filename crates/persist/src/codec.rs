@@ -317,6 +317,11 @@ pub(crate) fn decode_adapted(
     for _ in 0..horizon {
         transitions.push(decode_table(r, num_states)?);
     }
+    // The alias-table sampling kernel is NOT part of the MODELS section:
+    // it is a deterministic pure function of the transition rows, and
+    // `from_parts` rebuilds it from the decoded rows — so a store-loaded
+    // model samples identically to the freshly adapted one it was encoded
+    // from, with zero format change.
     AdaptedModel::from_parts(observations, forward, posterior, transitions)
         .map_err(|context| StoreError::Malformed { context })
 }

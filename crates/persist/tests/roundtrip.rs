@@ -85,6 +85,31 @@ fn decoded_observations_match_the_originals_exactly() {
 }
 
 #[test]
+fn loaded_models_rebuild_an_identical_sampling_kernel() {
+    // The alias-table kernel is not serialized; `AdaptedModel::from_parts`
+    // rebuilds it from the decoded transition rows. Since the rows round-trip
+    // bit-identically and the kernel construction is deterministic, the
+    // loaded kernel must equal the fresh one slot for slot — every draw a
+    // store-loaded model answers is bit-identical to the original model's.
+    let w = common::build_workload(20, 3, 6, 99);
+    let loaded = assert_canonical_roundtrip(&w, true);
+    for ((_, fresh), (_, back)) in w.models.iter().zip(&loaded.models) {
+        assert_eq!(fresh.alias_kernel(), back.alias_kernel());
+        for t in fresh.start()..fresh.end() {
+            for s in fresh.support_at(t) {
+                for u in [0.0, 0.31, 0.77, 1.0 - f64::EPSILON / 2.0] {
+                    assert_eq!(
+                        fresh.sample_transition(t, s, u),
+                        back.sample_transition(t, s, u),
+                        "t={t} s={s} u={u}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn adapted_models_survive_with_their_distributions() {
     let w = common::build_workload(16, 3, 6, 7);
     let loaded = assert_canonical_roundtrip(&w, true);

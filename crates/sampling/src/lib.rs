@@ -27,11 +27,13 @@
 //! and [`hoeffding`] provides the sample-size / confidence bounds the paper
 //! refers to (\[29\]).
 
+pub mod block;
 pub mod hoeffding;
 pub mod posterior;
 pub mod rejection;
 pub mod world;
 
+pub use block::{WorldBlock, WORLD_BLOCK_WIDTH};
 pub use hoeffding::{confidence_radius, required_samples};
 pub use posterior::PosteriorSampler;
 pub use rejection::{RejectionOutcome, RejectionSampler, SegmentedSampler};

@@ -51,8 +51,8 @@ impl<'a> PosteriorSampler<'a> {
     ///
     /// Every step of the chain consumes exactly one RNG draw *whether or not
     /// its transition is materialised*, so this method burns the draws of the
-    /// steps past `horizon` without paying their transition-row lookup and
-    /// distribution scan: the RNG stream — and therefore every subsequent
+    /// steps past `horizon` without paying their row lookup and alias draw:
+    /// the RNG stream — and therefore every subsequent
     /// object and world — stays bit-identical to a full
     /// [`sample_into`](Self::sample_into). A query engine whose last query
     /// timestamp is `horizon` reads identical states either way; the
@@ -73,13 +73,12 @@ impl<'a> PosteriorSampler<'a> {
                     // horizon are never read.
                     continue;
                 }
-                let row = self
+                // `rng.gen::<f64>()` yields u ∈ [0, 1) (53-bit mantissa over
+                // 2⁻⁵³ steps), satisfying the alias kernel's contract.
+                let next = self
                     .model
-                    .transition_row(t, current)
+                    .sample_transition(t, current, u)
                     .expect("reachable states always have an adapted transition row");
-                let next = row
-                    .sample_with(u)
-                    .expect("adapted transition rows are never empty");
                 states.push(next);
                 current = next;
             }
@@ -95,13 +94,10 @@ impl<'a> PosteriorSampler<'a> {
         states.push(first);
         let mut current = first;
         for t in start..end {
-            let row = self
+            let next = self
                 .model
-                .transition_row(t, current)
+                .sample_transition(t, current, rng.gen::<f64>())
                 .expect("reachable states always have an adapted transition row");
-            let next = row
-                .sample_with(rng.gen::<f64>())
-                .expect("adapted transition rows are never empty");
             states.push(next);
             current = next;
         }

@@ -99,6 +99,13 @@ impl WorldSampler {
         self.models.iter().find(|(oid, _)| *oid == id).map(|(_, m)| m)
     }
 
+    /// The `(object, adapted model)` pairs in sampler order — the object
+    /// order every world is sampled in. [`crate::block::WorldBlock`] snapshots
+    /// this to lay out its per-object arenas.
+    pub fn models(&self) -> &[(ObjectId, Arc<AdaptedModel>)] {
+        &self.models
+    }
+
     /// Draws one possible world (each object sampled independently).
     pub fn sample_world<R: Rng>(&self, rng: &mut R) -> PossibleWorld {
         let trajectories = self
