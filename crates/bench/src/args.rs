@@ -40,13 +40,26 @@ pub struct RunSettings {
     /// `--csv`). With `--csv`, requesting more objects than the file yields
     /// is a typed `UnknownObject` error.
     pub objects: Option<usize>,
-    /// Base path for on-disk engine stores (fig06/fig08 only). Each sweep
-    /// point saves its engine state to a derived path, immediately
+    /// Base path for on-disk engine stores (fig06/fig08/fig09 only). Each
+    /// sweep point saves its engine state to a derived path, immediately
     /// cold-starts a second engine from that store and cross-checks the
     /// result digests; the load wall time lands in the report meta. Binaries
     /// without store support reject it via
     /// [`RunSettings::reject_store_flag`].
     pub store_path: Option<String>,
+    /// Incremental-ingest mode (fig09 only, requires `--csv` and `--store`):
+    /// each sweep point holds back the tail observations of the ingested
+    /// objects, saves a pre-append store, WAL-appends the held-back batch
+    /// through [`ust_core::EngineStore::append_batch`], and cross-checks the
+    /// recovered digest against a from-scratch engine over the full data.
+    /// The store and its WAL are left on disk for `--wal-recover`. Binaries
+    /// without WAL support reject it via [`RunSettings::reject_wal_flags`].
+    pub wal: bool,
+    /// Recovery half of the incremental-ingest smoke (fig09 only, requires
+    /// `--csv` and `--store`): loads the store a previous `--wal` run left
+    /// behind — replaying its WAL, in this (separate) process — and
+    /// re-measures, proving the digests survive a cross-process recovery.
+    pub wal_recover: bool,
     /// Per-query deadline in milliseconds (fig06/fig08/fig09 only). Each
     /// measured query runs under a [`ust_core::QueryBudget`] with this
     /// deadline; a breach during the filter or TS phase is a typed error that
@@ -67,6 +80,8 @@ impl Default for RunSettings {
             csv_path: None,
             objects: None,
             store_path: None,
+            wal: false,
+            wal_recover: false,
             deadline_ms: None,
         }
     }
@@ -93,14 +108,28 @@ impl RunSettings {
     }
 
     /// Aborts with a usage error if `--store` was given to a binary that
-    /// does not save/load engine stores — only fig06 and fig08 exercise the
-    /// persistence round trip, and silently ignoring the flag would let the
-    /// user believe a store was written.
+    /// does not save/load engine stores — only fig06, fig08 and fig09
+    /// exercise the persistence round trip, and silently ignoring the flag
+    /// would let the user believe a store was written.
     pub fn reject_store_flag(&self, binary: &str) {
         if self.store_path.is_some() {
             usage_and_exit(&format!(
-                "{binary} does not support --store; only fig06_vary_states and \
-                 fig08_vary_objects exercise the on-disk store round trip"
+                "{binary} does not support --store; only fig06_vary_states, \
+                 fig08_vary_objects and fig09_realdata_vary_objects exercise the \
+                 on-disk store round trip"
+            ));
+        }
+    }
+
+    /// Aborts with a usage error if `--wal`/`--wal-recover` was given to a
+    /// binary that does not run the incremental-ingest path — only
+    /// fig09_realdata_vary_objects appends to a live store, and silently
+    /// ignoring the flag would let the user believe the WAL was exercised.
+    pub fn reject_wal_flags(&self, binary: &str) {
+        if self.wal || self.wal_recover {
+            usage_and_exit(&format!(
+                "{binary} does not support --wal/--wal-recover; only \
+                 fig09_realdata_vary_objects runs the incremental-ingest path"
             ));
         }
     }
@@ -115,6 +144,33 @@ impl RunSettings {
                 "{binary} does not support --deadline-ms; only the efficiency figures \
                  (fig06/fig08/fig09) run queries under a budget"
             ));
+        }
+    }
+
+    /// Aborts with a usage error unless the WAL flags form a runnable fig09
+    /// mode: at most one of `--wal`/`--wal-recover` per process (the whole
+    /// point is recovering in a *separate* process), each requiring `--csv`
+    /// (the ingest data) and `--store` (the container the WAL rides along),
+    /// and neither combined with `--deadline-ms` (a degraded run would
+    /// change the digest baseline the ingest check compares against).
+    pub fn validate_wal_mode(&self) {
+        if !self.wal && !self.wal_recover {
+            return;
+        }
+        if self.wal && self.wal_recover {
+            usage_and_exit(
+                "--wal and --wal-recover are mutually exclusive: run --wal, then \
+                 --wal-recover as a second process over the same --store path",
+            );
+        }
+        if self.csv_path.is_none() || self.store_path.is_none() {
+            usage_and_exit("--wal/--wal-recover require both --csv and --store");
+        }
+        if self.deadline_ms.is_some() {
+            usage_and_exit(
+                "--wal/--wal-recover cannot run under --deadline-ms: a degraded run \
+                 would invalidate the digest comparison",
+            );
         }
     }
 
@@ -178,6 +234,8 @@ impl RunSettings {
                         usage_and_exit("--store requires a path argument");
                     }
                 }
+                "--wal" => settings.wal = true,
+                "--wal-recover" => settings.wal_recover = true,
                 "--deadline-ms" => match iter.next().and_then(|s| s.parse().ok()) {
                     Some(ms) => settings.deadline_ms = Some(ms),
                     None => usage_and_exit(
@@ -203,7 +261,7 @@ fn usage_and_exit(message: &str) -> ! {
     eprintln!(
         "usage: <figure binary> [--quick | --paper-scale | --scale <quick|default|paper>] \
          [--seed N] [--threads N] [--build-threads N] [--json <path>] [--csv <path>] \
-         [--objects N] [--store <path>] [--deadline-ms N]"
+         [--objects N] [--store <path>] [--wal] [--wal-recover] [--deadline-ms N]"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
@@ -271,6 +329,18 @@ mod tests {
         let s = parse(&["--store", "/tmp/fig08.ustore"]);
         assert_eq!(s.store_path.as_deref(), Some("/tmp/fig08.ustore"));
         assert_eq!(parse(&[]).store_path, None);
+    }
+
+    #[test]
+    fn wal_flags() {
+        let s = parse(&["--wal"]);
+        assert!(s.wal);
+        assert!(!s.wal_recover);
+        let s = parse(&["--wal-recover"]);
+        assert!(!s.wal);
+        assert!(s.wal_recover);
+        let s = parse(&[]);
+        assert!(!s.wal && !s.wal_recover);
     }
 
     #[test]

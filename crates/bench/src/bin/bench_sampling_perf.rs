@@ -18,6 +18,7 @@ fn main() {
     let settings = RunSettings::from_env();
     settings.reject_ingest_flags("bench_sampling_perf");
     settings.reject_store_flag("bench_sampling_perf");
+    settings.reject_wal_flags("bench_sampling_perf");
     settings.reject_deadline_flag("bench_sampling_perf");
     let cfg = match settings.scale {
         RunScale::Quick => SamplingPerfConfig::quick(settings.seed),

@@ -24,6 +24,7 @@ use ust_core::{EngineConfig, QueryEngine};
 fn main() {
     let settings = RunSettings::from_env();
     settings.reject_ingest_flags("fig06_vary_states");
+    settings.reject_wal_flags("fig06_vary_states");
     let budget = settings.query_budget();
     let params = ScaleParams::for_scale(settings.scale);
     let threads = resolve_adaptation_threads(settings.adaptation_threads.unwrap_or(0));

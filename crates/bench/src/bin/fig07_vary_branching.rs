@@ -12,6 +12,7 @@ fn main() {
     let settings = RunSettings::from_env();
     settings.reject_ingest_flags("fig07_vary_branching");
     settings.reject_store_flag("fig07_vary_branching");
+    settings.reject_wal_flags("fig07_vary_branching");
     settings.reject_deadline_flag("fig07_vary_branching");
     let params = ScaleParams::for_scale(settings.scale);
     // The paper's TS series is a *serial* adaptation time, so this figure

@@ -24,6 +24,7 @@ use ust_core::{EngineConfig, QueryEngine};
 fn main() {
     let settings = RunSettings::from_env();
     settings.reject_ingest_flags("fig08_vary_objects");
+    settings.reject_wal_flags("fig08_vary_objects");
     let budget = settings.query_budget();
     let params = ScaleParams::for_scale(settings.scale);
     // The paper's TS series is a *serial* adaptation time, so this figure

@@ -18,20 +18,42 @@
 //! * without `--csv` the simulated city workload of DESIGN.md §4 is
 //!   generated, as before. Paper sweep: |D| ∈ {1k, 10k, 20k}. Reported
 //!   series: TS/FA/EX CPU times and |C(q)|/|I(q)|.
+//!
+//! With `--csv`, three persistence modes ride along (DESIGN.md §10):
+//!
+//! * `--store <base>` — the fig06/fig08-style round trip: save the engine
+//!   state per sweep point, cold-start from the file, digest must match.
+//! * `--store <base> --wal` — incremental ingest: hold back each long
+//!   trajectory's tail observation, save the shortened store, WAL-append the
+//!   tails through `EngineStore::append_batch`, and verify the grown store's
+//!   digest against the from-scratch engine. Store + WAL stay on disk.
+//! * `--store <base> --wal-recover` — run as a *second process*: load what
+//!   `--wal` left behind (replaying the log) and verify the same digest —
+//!   the cross-process crash-recovery smoke CI runs on every push.
 
 use ust_bench::datasets::{build_queries, build_taxi, ScaleParams};
-use ust_bench::efficiency::try_measure_efficiency;
+use ust_bench::efficiency::{try_measure_efficiency, try_measure_efficiency_on};
 use ust_bench::errors::{exit_failure, report_skipped_rows};
 use ust_bench::ingest::{ingest_taxi_path, take_objects, IngestedTaxi};
+use ust_bench::storecheck::store_roundtrip_check;
+use ust_bench::walcheck::{split_holdback, wal_ingest_check, wal_recover_check};
 use ust_bench::{ExperimentReport, Row, RunScale, RunSettings};
 use ust_core::prepare::resolve_adaptation_threads;
+use ust_core::{EngineConfig, QueryEngine};
 use ust_generator::Dataset;
 
 const BINARY: &str = "fig09_realdata_vary_objects";
 
 fn main() {
     let settings = RunSettings::from_env();
-    settings.reject_store_flag(BINARY);
+    settings.validate_wal_mode();
+    if settings.store_path.is_some() && settings.csv_path.is_none() {
+        exit_failure(
+            BINARY,
+            "parsing arguments",
+            &"--store on fig09 requires --csv: the store check covers the ingested data",
+        );
+    }
     let params = ScaleParams::for_scale(settings.scale);
     // The paper's TS series is a *serial* adaptation time, so this figure
     // defaults to one TS worker for comparability across machines; parallel
@@ -178,17 +200,50 @@ fn run_ingested(
             ground_truth: Default::default(),
         };
         let queries = build_queries(&dataset, params, settings.seed);
-        let m = match try_measure_efficiency(
-            &dataset,
-            &queries,
-            params.num_samples,
-            settings.seed,
-            threads,
-            &budget,
-        ) {
+        // Built explicitly (instead of inside `try_measure_efficiency`) so
+        // the store/WAL checks below can reuse the engine and its exact
+        // configuration for their digest comparisons.
+        let config = EngineConfig {
+            num_samples: params.num_samples,
+            seed: settings.seed,
+            adaptation_threads: threads,
+            ..Default::default()
+        };
+        let engine = QueryEngine::new(&dataset.database, config.clone());
+        let m = match try_measure_efficiency_on(&engine, &queries, &budget) {
             Ok(m) => m,
             Err(error) => exit_failure(BINARY, "query budget breached", &error),
         };
+        if let Some(base) = settings.store_path.as_deref() {
+            let point = format!("d{d}");
+            if settings.wal {
+                let holdback = split_holdback(&dataset.database);
+                wal_ingest_check(
+                    BINARY,
+                    &mut report,
+                    base,
+                    &point,
+                    config.clone(),
+                    &queries,
+                    m.digest,
+                    &holdback,
+                );
+            } else if settings.wal_recover {
+                wal_recover_check(
+                    BINARY,
+                    &mut report,
+                    base,
+                    &point,
+                    config.clone(),
+                    &queries,
+                    m.digest,
+                );
+            } else {
+                store_roundtrip_check(
+                    BINARY, &mut report, base, &point, &engine, config, &queries, &m,
+                );
+            }
+        }
         report.set_meta(format!("budget_checkpoints_d{d}"), m.budget_checkpoints);
         report.set_meta(format!("worlds_sampled_d{d}"), m.worlds_sampled);
         report.set_meta(format!("degraded_queries_d{d}"), m.degraded_queries as f64);

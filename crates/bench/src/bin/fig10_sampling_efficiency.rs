@@ -14,6 +14,7 @@ fn main() {
     let settings = RunSettings::from_env();
     settings.reject_ingest_flags("fig10_sampling_efficiency");
     settings.reject_store_flag("fig10_sampling_efficiency");
+    settings.reject_wal_flags("fig10_sampling_efficiency");
     settings.reject_deadline_flag("fig10_sampling_efficiency");
     let cfg = match settings.scale {
         RunScale::Quick => SamplingEfficiencyConfig {

@@ -16,6 +16,7 @@ fn main() {
     let settings = RunSettings::from_env();
     settings.reject_ingest_flags("fig11_effectiveness_scatter");
     settings.reject_store_flag("fig11_effectiveness_scatter");
+    settings.reject_wal_flags("fig11_effectiveness_scatter");
     settings.reject_deadline_flag("fig11_effectiveness_scatter");
     let mut params = ScaleParams::for_scale(settings.scale);
     // The paper uses v = 0.2 and |T| = 5 for this experiment.

@@ -18,6 +18,7 @@ fn main() {
     let settings = RunSettings::from_env();
     settings.reject_ingest_flags("fig12_model_adaptation_error");
     settings.reject_store_flag("fig12_model_adaptation_error");
+    settings.reject_wal_flags("fig12_model_adaptation_error");
     settings.reject_deadline_flag("fig12_model_adaptation_error");
     let params = ScaleParams::for_scale(settings.scale);
     let threads = resolve_adaptation_threads(settings.adaptation_threads.unwrap_or(0));

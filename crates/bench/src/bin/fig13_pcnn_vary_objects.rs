@@ -21,6 +21,7 @@ fn main() {
     let settings = RunSettings::from_env();
     settings.reject_ingest_flags("fig13_pcnn_vary_objects");
     settings.reject_store_flag("fig13_pcnn_vary_objects");
+    settings.reject_wal_flags("fig13_pcnn_vary_objects");
     settings.reject_deadline_flag("fig13_pcnn_vary_objects");
     let params = ScaleParams::for_scale(settings.scale);
     let threads = resolve_adaptation_threads(settings.adaptation_threads.unwrap_or(1));

@@ -23,6 +23,7 @@ fn main() {
     let settings = RunSettings::from_env();
     settings.reject_ingest_flags("fig14_pcnn_vary_tau");
     settings.reject_store_flag("fig14_pcnn_vary_tau");
+    settings.reject_wal_flags("fig14_pcnn_vary_tau");
     settings.reject_deadline_flag("fig14_pcnn_vary_tau");
     let params = ScaleParams::for_scale(settings.scale);
     let threads = resolve_adaptation_threads(settings.adaptation_threads.unwrap_or(1));

@@ -30,6 +30,7 @@ pub mod perf;
 pub mod report;
 pub mod sampling_efficiency;
 pub mod storecheck;
+pub mod walcheck;
 
 pub use args::{RunScale, RunSettings};
 pub use report::{ExperimentReport, Row};

@@ -223,7 +223,9 @@ impl<'a> QueryEngine<'a> {
     /// and every adapted model currently cached — as an on-disk store (see
     /// [`ust_persist`]). A later [`EngineStore::load`](crate::EngineStore)
     /// skips the index build and the TS phase for the stored objects
-    /// entirely.
+    /// entirely. The write stages through a `<path>.tmp` sibling and lands
+    /// with an atomic rename, so a crash mid-save never clobbers (or
+    /// truncates) a store already at `path`.
     pub fn save_store(
         &self,
         path: impl AsRef<std::path::Path>,

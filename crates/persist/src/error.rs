@@ -72,6 +72,9 @@ pub enum StoreError {
         /// The unknown section id.
         section: u32,
     },
+    /// The store was decoded from raw bytes, not loaded from a file, so a
+    /// WAL append or checkpoint has no durable home to go to.
+    NotFileBacked,
 }
 
 impl std::fmt::Display for StoreError {
@@ -110,6 +113,9 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::UnknownSection { section } => {
                 write!(f, "unknown section id {section}")
+            }
+            StoreError::NotFileBacked => {
+                write!(f, "store is not file-backed: appends and checkpoints need a store file")
             }
         }
     }

@@ -22,6 +22,16 @@
 //! serialized: STR bulk loading is deterministic, so the tree section stores
 //! only the diamond arena plus the node capacity and rebuilds the rest.
 //!
+//! # Incremental ingest
+//!
+//! A store file is complemented by an optional sidecar write-ahead log
+//! (`<store>.wal`, see [`mod@wal`]): observation appends land there as
+//! checksummed, fsynced frames instead of rewriting the container, and
+//! `ust_core::EngineStore` replays the log on load — truncating a torn tail
+//! at the last valid frame. [`write_store`] itself stages through a
+//! `<path>.tmp` sibling plus atomic rename, so checkpoints can never leave a
+//! truncated container behind.
+//!
 //! # Hostile input
 //!
 //! [`decode_store`] treats its input as untrusted: every length and count is
@@ -42,21 +52,36 @@ pub mod error;
 pub mod format;
 pub mod fuzz;
 pub mod store;
+pub mod wal;
 
 pub use error::StoreError;
 pub use fuzz::Mutator;
 pub use store::{
     decode_store, encode_store, read_store, write_store, LoadedStore, StoreContents, StoreStats,
 };
+pub use wal::{WalAppendStats, WalBatch, WalContents};
 
 /// The fault points this crate registers with [`ust_fault`] (see the chaos
-/// suite at the workspace root): a hard read/write failure, a synthetic
-/// signal interruption feeding the bounded retry loop of each, and a torn
-/// section read surfacing mid-container decode.
+/// suite at the workspace root and the crash matrix in
+/// `crates/bench/tests/store_recovery.rs`):
+///
+/// * the store write path — a hard failure, a synthetic signal interruption
+///   feeding the bounded retry loop, the staging fsync and the atomic rename
+///   of the temp-file protocol;
+/// * the store read path — a hard failure, a retried interruption and a torn
+///   section read surfacing mid-container decode;
+/// * the WAL — the append write, the append fsync, the replay read and the
+///   post-checkpoint truncation.
 pub const FAULT_POINTS: &[&str] = &[
     "persist.read.file",
     "persist.read.interrupted",
     "persist.write.file",
     "persist.write.interrupted",
+    "persist.write.sync",
+    "persist.write.rename",
     "persist.read.section",
+    "persist.wal.append.write",
+    "persist.wal.append.sync",
+    "persist.wal.replay.read",
+    "persist.checkpoint.truncate",
 ];

@@ -210,19 +210,54 @@ fn retry_interrupted<T>(
     }
 }
 
-/// Encodes `contents` and writes the store to `path` (atomically enough for
-/// the bench workflow: a fresh full write, no in-place patching).
-/// Signal-interrupted writes are retried (see `retry_interrupted`); other
-/// I/O failures surface as [`StoreError::Io`].
+/// The temp-file sibling a store write stages its bytes in:
+/// `fig08.ustore` → `fig08.ustore.tmp`.
+fn tmp_write_path(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    std::path::PathBuf::from(os)
+}
+
+/// The crash-safe body of [`write_store`]: stage the bytes in the temp file,
+/// fsync, then atomically rename over the destination. Fault points:
+/// `persist.write.interrupted` (feeds the temp write's retry loop),
+/// `persist.write.sync` (before the fsync) and `persist.write.rename`
+/// (before the rename). A failure at any step leaves a pre-existing store at
+/// `path` untouched.
+fn stage_sync_rename(tmp: &Path, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    retry_interrupted("persist.write.interrupted", || std::fs::write(tmp, bytes))?;
+    if let Some(message) = ust_fault::inject("persist.write.sync") {
+        return Err(StoreError::Io { message });
+    }
+    std::fs::File::open(tmp)?.sync_data()?;
+    if let Some(message) = ust_fault::inject("persist.write.rename") {
+        return Err(StoreError::Io { message });
+    }
+    std::fs::rename(tmp, path)?;
+    Ok(())
+}
+
+/// Encodes `contents` and writes the store to `path` crash-safely: the bytes
+/// are staged in a `<path>.tmp` sibling, fsynced and atomically renamed into
+/// place, so a crash (or injected fault) at any point leaves either the old
+/// store or the new one — never a truncated hybrid. Signal-interrupted
+/// writes are retried (see `retry_interrupted`); other I/O failures surface
+/// as [`StoreError::Io`], with the staging file best-effort removed.
 pub fn write_store(
     path: impl AsRef<Path>,
     contents: &StoreContents<'_>,
 ) -> Result<StoreStats, StoreError> {
+    let path = path.as_ref();
     let bytes = encode_store(contents);
     if let Some(message) = ust_fault::inject("persist.write.file") {
         return Err(StoreError::Io { message });
     }
-    retry_interrupted("persist.write.interrupted", || std::fs::write(&path, &bytes))?;
+    let tmp = tmp_write_path(path);
+    let staged = stage_sync_rename(&tmp, path, &bytes);
+    if staged.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    staged?;
     Ok(StoreStats {
         bytes: bytes.len() as u64,
         sections: 1
@@ -387,6 +422,23 @@ mod tests {
         assert_eq!(loaded.stats.bytes, written.bytes);
         assert_eq!(loaded.stats.objects, 2);
         assert!(loaded.stats.load_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn write_stages_through_a_temp_file_and_replaces_atomically() {
+        let db = tiny_database();
+        let contents = StoreContents { database: &db, index: None, models: &[] };
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ust_persist_atomic_{}.ustore", std::process::id()));
+        let tmp = tmp_write_path(&path);
+        write_store(&path, &contents).unwrap();
+        assert!(!tmp.exists(), "the staging file is renamed away on success");
+        let first = std::fs::read(&path).unwrap();
+        // Overwriting an existing store goes through the same staged path.
+        write_store(&path, &contents).unwrap();
+        assert!(!tmp.exists());
+        assert_eq!(std::fs::read(&path).unwrap(), first, "canonical encode is byte-stable");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,488 @@
+//! The observation write-ahead log: a checksummed, frame-per-batch append
+//! log that makes incremental ingest crash-safe (DESIGN.md §10).
+//!
+//! A `.ustore` file is rewritten wholesale; appending a handful of fresh
+//! observations must not pay that cost, and must not die with the process.
+//! Instead, every appended batch becomes one *frame* of a sidecar log at
+//! [`wal_path`] (`<store>.wal`):
+//!
+//! ```text
+//! wal    := magic(8 = "USTWALOG") version(u32) frame*
+//! frame  := payload_len(u64) fnv1a64(u64) payload(payload_len)
+//! payload := append_count(u64)
+//!            { object_id(u32) obs_count(u64) { time(u32) state(u32) }* }*
+//! ```
+//!
+//! One frame is one atomic unit: [`append_frame`] writes the frame with a
+//! single `write_all` and fsyncs before returning, so after a crash the tail
+//! frame is either fully present (checksum verifies) or torn.
+//!
+//! # The torn-tail rule
+//!
+//! [`decode_wal`] distinguishes two kinds of damage:
+//!
+//! * **Torn tail** — the byte stream ends mid-frame, a frame announces more
+//!   payload than the file holds, or the tail frame's checksum fails. That is
+//!   exactly what an interrupted append leaves behind, so the reader *stops*
+//!   at the last valid frame and reports the cut point ([`WalContents::valid_len`])
+//!   instead of erring; recovery truncates the file there ([`repair_wal`]).
+//!   A partially written header (shorter than 12 bytes but a prefix of the
+//!   canonical header) is the degenerate case: an empty log.
+//! * **Corruption** — damage *inside* a checksum-valid frame (impossible
+//!   counts, non-increasing times, trailing bytes) or a header that is not a
+//!   prefix of the canonical one. No interrupted write can produce these, so
+//!   they surface as typed [`StoreError`]s, never as silent truncation.
+//!
+//! Replay semantics (which observations a decoded batch may touch, and the
+//! idempotent-skip rule that makes a checkpoint-then-crash recoverable) live
+//! with the store owner, `ust_core::EngineStore`.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+use crate::format::{fnv1a64, ByteReader, ByteWriter};
+use ust_trajectory::{ObjectId, Observation};
+
+/// The eight magic bytes every WAL starts with.
+pub const WAL_MAGIC: [u8; 8] = *b"USTWALOG";
+
+/// The WAL format version this build writes and reads. Like the store
+/// container, other versions are rejected outright — there is no
+/// cross-version "best effort" replay.
+pub const WAL_VERSION: u32 = 1;
+
+/// Bytes of the WAL header: magic plus version.
+const WAL_HEADER_LEN: usize = WAL_MAGIC.len() + 4;
+
+/// One append batch: per entry, the observations appended to (or creating)
+/// the identified object. A batch is the WAL's atomic unit.
+pub type WalBatch = Vec<(ObjectId, Vec<Observation>)>;
+
+/// A decoded WAL: the valid frames plus where the valid bytes end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalContents {
+    /// The decoded batches, one per valid frame, in append order.
+    pub batches: Vec<WalBatch>,
+    /// Byte offset just past the last valid frame (the header length for an
+    /// empty or header-torn log). Everything after it is a torn tail.
+    pub valid_len: u64,
+    /// Total size of the byte stream that was decoded.
+    pub total_len: u64,
+    /// Total observations over all decoded batches.
+    pub observations: usize,
+}
+
+impl WalContents {
+    /// Bytes of torn tail discarded by the decoder (zero for a clean log).
+    pub fn torn_bytes(&self) -> u64 {
+        self.total_len - self.valid_len
+    }
+}
+
+/// Stats of one durably appended frame (see [`append_frame`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalAppendStats {
+    /// Bytes of the appended frame (header excluded).
+    pub frame_bytes: u64,
+    /// Total WAL file size after the append, header included.
+    pub wal_bytes: u64,
+    /// Entries in the appended batch.
+    pub appends: usize,
+    /// Observations in the appended batch.
+    pub observations: usize,
+}
+
+/// The sidecar WAL path of a store file: `fig08.ustore` → `fig08.ustore.wal`.
+pub fn wal_path(store_path: &Path) -> PathBuf {
+    let mut os = store_path.as_os_str().to_os_string();
+    os.push(".wal");
+    PathBuf::from(os)
+}
+
+/// The canonical 12-byte WAL header.
+pub fn encode_wal_header() -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.bytes(&WAL_MAGIC);
+    w.u32(WAL_VERSION);
+    w.into_bytes()
+}
+
+/// Encodes one batch as a length-prefixed, checksummed frame.
+pub fn encode_frame(batch: &[(ObjectId, Vec<Observation>)]) -> Vec<u8> {
+    let mut p = ByteWriter::new();
+    p.u64(batch.len() as u64);
+    for (id, observations) in batch {
+        p.u32(*id);
+        p.u64(observations.len() as u64);
+        for o in observations {
+            p.u32(o.time);
+            p.u32(o.state);
+        }
+    }
+    let payload = p.into_bytes();
+    let mut w = ByteWriter::new();
+    w.u64(payload.len() as u64);
+    w.u64(fnv1a64(&payload));
+    w.bytes(&payload);
+    w.into_bytes()
+}
+
+/// Decodes a WAL byte stream under the torn-tail rule (see the module docs):
+/// structural damage at the tail truncates, damage inside a checksum-valid
+/// frame is a typed error. Never panics, never sizes an allocation from a
+/// count the input cannot back.
+pub fn decode_wal(bytes: &[u8]) -> Result<WalContents, StoreError> {
+    if bytes.len() < WAL_HEADER_LEN {
+        // Shorter than the header: an interrupted first append leaves a
+        // prefix of the canonical header behind — an empty log. Anything
+        // else is hostile bytes, not a torn write.
+        if encode_wal_header().starts_with(bytes) {
+            return Ok(WalContents {
+                batches: Vec::new(),
+                valid_len: 0,
+                total_len: bytes.len() as u64,
+                observations: 0,
+            });
+        }
+        return match bytes.get(..WAL_MAGIC.len()) {
+            Some(magic) if magic == WAL_MAGIC => {
+                Err(StoreError::Truncated { context: "wal header" })
+            }
+            _ => Err(StoreError::BadMagic),
+        };
+    }
+    let mut r = ByteReader::new(bytes, "wal header");
+    if r.bytes(WAL_MAGIC.len())? != WAL_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != WAL_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+
+    let mut batches: Vec<WalBatch> = Vec::new();
+    let mut observations = 0usize;
+    let mut valid_len = WAL_HEADER_LEN as u64;
+    while !r.is_empty() {
+        // Frame structure checks: fewer than 16 header bytes, a payload the
+        // file cannot back, or a checksum mismatch are all what an
+        // interrupted append leaves behind — stop at the last valid frame.
+        if r.remaining() < 16 {
+            break;
+        }
+        r.set_context("wal frame header");
+        let payload_len = r.u64()?;
+        let checksum = r.u64()?;
+        if payload_len > r.remaining() as u64 {
+            break;
+        }
+        let payload = r.bytes(payload_len as usize)?;
+        if fnv1a64(payload) != checksum {
+            break;
+        }
+        // The checksum verifies, so this frame was once written completely;
+        // anything wrong inside it is corruption and errs.
+        let batch = decode_frame_payload(payload)?;
+        observations += batch.iter().map(|(_, obs)| obs.len()).sum::<usize>();
+        batches.push(batch);
+        valid_len += 16 + payload_len;
+    }
+    Ok(WalContents { batches, valid_len, total_len: bytes.len() as u64, observations })
+}
+
+/// Decodes one checksum-verified frame payload. Every count is proved
+/// against the remaining payload before an allocation is sized from it.
+fn decode_frame_payload(payload: &[u8]) -> Result<WalBatch, StoreError> {
+    let mut r = ByteReader::new(payload, "wal frame");
+    // Smallest possible append entry: id(4) + count(8) + one observation(8).
+    let appends = r.count("wal frame appends", 20)?;
+    if appends == 0 {
+        return Err(StoreError::Malformed { context: "wal frame with zero appends" });
+    }
+    let mut batch: WalBatch = Vec::with_capacity(appends);
+    for _ in 0..appends {
+        let id = r.u32()?;
+        let count = r.count("wal append observations", 8)?;
+        if count == 0 {
+            return Err(StoreError::Malformed { context: "wal append with zero observations" });
+        }
+        let mut observations = Vec::with_capacity(count);
+        let mut last: Option<u32> = None;
+        for _ in 0..count {
+            let time = r.u32()?;
+            let state = r.u32()?;
+            if last.is_some_and(|t| time <= t) {
+                return Err(StoreError::Malformed {
+                    context: "wal append times not strictly increasing",
+                });
+            }
+            last = Some(time);
+            observations.push(Observation::new(time, state));
+        }
+        batch.push((id, observations));
+    }
+    r.expect_end("wal frame payload")?;
+    Ok(batch)
+}
+
+/// Reads and decodes the WAL at `path`. A missing file is `Ok(None)` — a
+/// store without a sidecar log simply has nothing to replay. Fault point:
+/// `persist.wal.replay.read` (checked even before the existence probe, so
+/// the chaos suite can fire it against a WAL-less store).
+pub fn read_wal(path: &Path) -> Result<Option<WalContents>, StoreError> {
+    if let Some(message) = ust_fault::inject("persist.wal.replay.read") {
+        return Err(StoreError::Io { message });
+    }
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    Ok(Some(decode_wal(&bytes)?))
+}
+
+/// Durably appends one batch as a frame: open (create on first use, which
+/// also writes the header), one `write_all`, then fsync. The batch must be
+/// non-empty, with non-empty, strictly-increasing-time entries — the same
+/// invariants [`decode_wal`] enforces, checked here so an invalid batch can
+/// never poison the log. Fault points: `persist.wal.append.write` (before
+/// the write) and `persist.wal.append.sync` (before the fsync).
+///
+/// The caller is responsible for the file having no torn tail (recovery
+/// truncates one via [`repair_wal`] before any new append), so the appended
+/// frame lands on a valid frame boundary.
+pub fn append_frame(
+    path: &Path,
+    batch: &[(ObjectId, Vec<Observation>)],
+) -> Result<WalAppendStats, StoreError> {
+    if batch.is_empty() {
+        return Err(StoreError::Malformed { context: "wal frame with zero appends" });
+    }
+    for (_, observations) in batch {
+        if observations.is_empty() {
+            return Err(StoreError::Malformed { context: "wal append with zero observations" });
+        }
+        for (a, b) in observations.iter().zip(observations.iter().skip(1)) {
+            if a.time >= b.time {
+                return Err(StoreError::Malformed {
+                    context: "wal append times not strictly increasing",
+                });
+            }
+        }
+    }
+    if let Some(message) = ust_fault::inject("persist.wal.append.write") {
+        return Err(StoreError::Io { message });
+    }
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    let existing = file.metadata()?.len();
+    let frame = encode_frame(batch);
+    let mut bytes = if existing == 0 { encode_wal_header() } else { Vec::new() };
+    bytes.extend_from_slice(&frame);
+    file.write_all(&bytes)?;
+    if let Some(message) = ust_fault::inject("persist.wal.append.sync") {
+        return Err(StoreError::Io { message });
+    }
+    file.sync_data()?;
+    Ok(WalAppendStats {
+        frame_bytes: frame.len() as u64,
+        wal_bytes: existing + bytes.len() as u64,
+        appends: batch.len(),
+        observations: batch.iter().map(|(_, obs)| obs.len()).sum(),
+    })
+}
+
+/// Truncates a torn tail off the WAL in place (to `valid_len` bytes, as
+/// reported by [`decode_wal`]) and syncs, so the next append lands on a
+/// valid frame boundary.
+pub fn repair_wal(path: &Path, valid_len: u64) -> Result<(), StoreError> {
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(valid_len)?;
+    file.sync_data()?;
+    Ok(())
+}
+
+/// Removes the WAL after a successful checkpoint; a missing file is fine.
+/// Fault point: `persist.checkpoint.truncate`. A failure here leaves a
+/// *stale* WAL next to a checkpoint that already contains its frames — safe,
+/// because replay is idempotent (`ust_core::EngineStore` skips observations
+/// the store already holds).
+pub fn truncate_wal(path: &Path) -> Result<(), StoreError> {
+    if let Some(message) = ust_fault::inject("persist.checkpoint.truncate") {
+        return Err(StoreError::Io { message });
+    }
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(entries: &[(ObjectId, &[(u32, u32)])]) -> WalBatch {
+        entries
+            .iter()
+            .map(|&(id, obs)| {
+                (id, obs.iter().map(|&(t, s)| Observation::new(t, s)).collect::<Vec<_>>())
+            })
+            .collect()
+    }
+
+    fn wal_bytes(batches: &[WalBatch]) -> Vec<u8> {
+        let mut bytes = encode_wal_header();
+        for b in batches {
+            bytes.extend_from_slice(&encode_frame(b));
+        }
+        bytes
+    }
+
+    #[test]
+    fn roundtrip_preserves_batches_and_offsets() {
+        let batches =
+            vec![batch(&[(7, &[(3, 1), (5, 2)])]), batch(&[(7, &[(9, 0)]), (11, &[(1, 4)])])];
+        let bytes = wal_bytes(&batches);
+        let decoded = decode_wal(&bytes).unwrap();
+        assert_eq!(decoded.batches, batches);
+        assert_eq!(decoded.valid_len, bytes.len() as u64);
+        assert_eq!(decoded.torn_bytes(), 0);
+        assert_eq!(decoded.observations, 4);
+    }
+
+    #[test]
+    fn empty_and_header_only_logs_decode_empty() {
+        let decoded = decode_wal(&[]).unwrap();
+        assert!(decoded.batches.is_empty());
+        assert_eq!(decoded.valid_len, 0);
+        let header = encode_wal_header();
+        let decoded = decode_wal(&header).unwrap();
+        assert!(decoded.batches.is_empty());
+        assert_eq!(decoded.valid_len, header.len() as u64);
+        // A torn header write is a prefix of the canonical header: empty log.
+        let decoded = decode_wal(&header[..7]).unwrap();
+        assert!(decoded.batches.is_empty());
+        assert_eq!(decoded.valid_len, 0);
+        assert_eq!(decoded.torn_bytes(), 7);
+    }
+
+    #[test]
+    fn torn_tails_truncate_instead_of_erroring() {
+        let batches = vec![batch(&[(1, &[(0, 0), (4, 1)])]), batch(&[(2, &[(2, 3)])])];
+        let clean = wal_bytes(&batches);
+        let first_end = (WAL_HEADER_LEN + encode_frame(&batches[0]).len()) as u64;
+
+        // Cut anywhere inside the second frame: the first survives.
+        for cut in (first_end as usize + 1)..clean.len() {
+            let decoded = decode_wal(&clean[..cut]).unwrap();
+            assert_eq!(decoded.batches.len(), 1, "cut at {cut}");
+            assert_eq!(decoded.valid_len, first_end, "cut at {cut}");
+            assert_eq!(decoded.torn_bytes(), cut as u64 - first_end, "cut at {cut}");
+        }
+
+        // A flipped bit in the tail frame's payload fails its checksum: torn.
+        let mut corrupt = clean.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x10;
+        let decoded = decode_wal(&corrupt).unwrap();
+        assert_eq!(decoded.batches.len(), 1);
+        assert_eq!(decoded.valid_len, first_end);
+
+        // Truncating to valid_len and re-decoding is a fixpoint.
+        let repaired = &corrupt[..decoded.valid_len as usize];
+        let again = decode_wal(repaired).unwrap();
+        assert_eq!(again.batches, decoded.batches);
+        assert_eq!(again.torn_bytes(), 0);
+    }
+
+    #[test]
+    fn header_and_frame_corruption_is_typed() {
+        assert_eq!(decode_wal(b"NOTAWAL!").unwrap_err(), StoreError::BadMagic);
+        assert_eq!(decode_wal(b"USTWALOG\xff\x00").unwrap_err(), StoreError::Truncated {
+            context: "wal header"
+        });
+        let mut w = ByteWriter::new();
+        w.bytes(&WAL_MAGIC);
+        w.u32(WAL_VERSION + 9);
+        assert_eq!(
+            decode_wal(&w.into_bytes()).unwrap_err(),
+            StoreError::UnsupportedVersion { found: WAL_VERSION + 9 }
+        );
+
+        // A checksum-valid frame with zero appends is corruption, not a tear.
+        let mut bytes = encode_wal_header();
+        bytes.extend_from_slice(&encode_frame(&[]));
+        assert_eq!(
+            decode_wal(&bytes).unwrap_err(),
+            StoreError::Malformed { context: "wal frame with zero appends" }
+        );
+
+        // Likewise non-increasing times inside a checksum-valid frame.
+        let bad = batch(&[(3, &[(5, 0), (5, 1)])]);
+        let mut bytes = encode_wal_header();
+        bytes.extend_from_slice(&encode_frame(&bad));
+        assert_eq!(
+            decode_wal(&bytes).unwrap_err(),
+            StoreError::Malformed { context: "wal append times not strictly increasing" }
+        );
+    }
+
+    #[test]
+    fn file_append_read_repair_cycle() {
+        let dir = std::env::temp_dir();
+        let store = dir.join(format!("ust_wal_unit_{}.ustore", std::process::id()));
+        let path = wal_path(&store);
+        assert!(path.to_string_lossy().ends_with(".ustore.wal"));
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(read_wal(&path).unwrap(), None, "missing WAL reads as nothing to replay");
+
+        let b1 = batch(&[(1, &[(0, 0), (3, 1)])]);
+        let b2 = batch(&[(2, &[(5, 2)])]);
+        let s1 = append_frame(&path, &b1).unwrap();
+        assert_eq!(s1.appends, 1);
+        assert_eq!(s1.observations, 2);
+        let s2 = append_frame(&path, &b2).unwrap();
+        assert!(s2.wal_bytes > s1.wal_bytes);
+        assert_eq!(s2.wal_bytes, std::fs::metadata(&path).unwrap().len());
+
+        let decoded = read_wal(&path).unwrap().unwrap();
+        assert_eq!(decoded.batches, vec![b1.clone(), b2]);
+
+        // Tear the tail on disk, then repair: only the first frame remains.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let torn = read_wal(&path).unwrap().unwrap();
+        assert_eq!(torn.batches.len(), 1);
+        assert!(torn.torn_bytes() > 0);
+        repair_wal(&path, torn.valid_len).unwrap();
+        let repaired = read_wal(&path).unwrap().unwrap();
+        assert_eq!(repaired.batches, vec![b1]);
+        assert_eq!(repaired.torn_bytes(), 0);
+
+        truncate_wal(&path).unwrap();
+        assert_eq!(read_wal(&path).unwrap(), None);
+        truncate_wal(&path).unwrap(); // idempotent on a missing file
+    }
+
+    #[test]
+    fn append_rejects_invalid_batches() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ust_wal_reject_{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            append_frame(&path, &[]).unwrap_err(),
+            StoreError::Malformed { context: "wal frame with zero appends" }
+        );
+        assert_eq!(
+            append_frame(&path, &batch(&[(1, &[])])).unwrap_err(),
+            StoreError::Malformed { context: "wal append with zero observations" }
+        );
+        assert_eq!(
+            append_frame(&path, &batch(&[(1, &[(4, 0), (2, 1)])])).unwrap_err(),
+            StoreError::Malformed { context: "wal append times not strictly increasing" }
+        );
+        assert!(!path.exists(), "a rejected batch never touches the file");
+    }
+}

@@ -33,6 +33,7 @@ fn variant(e: &StoreError) -> &'static str {
         StoreError::DuplicateSection { .. } => "DuplicateSection",
         StoreError::MissingSection { .. } => "MissingSection",
         StoreError::UnknownSection { .. } => "UnknownSection",
+        StoreError::NotFileBacked => "NotFileBacked",
     }
 }
 

@@ -1,0 +1,253 @@
+//! Bounded deterministic fuzz smoke over the WAL reader, plus the pinned
+//! hostile-WAL corpus.
+//!
+//! A fixed-seed [`Mutator`] derives thousands of corrupted inputs from a
+//! valid three-frame log; [`decode_wal`] must classify every one of them as
+//! either a clean decode, a torn tail (silently truncated at the last valid
+//! frame — and that truncation must be a *fixpoint*: decoding the valid
+//! prefix again reproduces the same batches with zero torn bytes), or a
+//! typed [`StoreError`] — never a panic. A second, structure-aware pass
+//! re-frames mutated payloads with a fixed-up checksum, driving corruption
+//! past the integrity gate into the payload validation that distinguishes
+//! "torn write" from "hostile bytes".
+//!
+//! The two fixtures under `tests/data/stores/` pin the two sides of the
+//! torn-tail rule the way `hostile_corpus.rs` pins the store decoder. To
+//! regenerate after a deliberate format change:
+//!
+//! ```text
+//! cargo test -p ust-persist --test wal_fuzz -- --ignored
+//! ```
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use ust_persist::format::{fnv1a64, ByteReader, ByteWriter};
+use ust_persist::wal::{decode_wal, encode_frame, encode_wal_header, WalBatch, WAL_MAGIC, WAL_VERSION};
+use ust_persist::{Mutator, StoreError};
+use ust_trajectory::Observation;
+
+/// Mutants per pass; CI runs both passes, so the smoke covers 2 × N inputs.
+const MUTANTS: usize = 10_000;
+
+/// The deterministic three-frame log every mutant derives from.
+fn base_batches() -> Vec<WalBatch> {
+    let obs = |pairs: &[(u32, u32)]| -> Vec<Observation> {
+        pairs.iter().map(|&(t, s)| Observation::new(t, s)).collect()
+    };
+    vec![
+        vec![(7, obs(&[(0, 3), (4, 1), (9, 2)])), (11, obs(&[(2, 0)]))],
+        vec![(7, obs(&[(12, 5)]))],
+        vec![(23, obs(&[(1, 4), (6, 6)])), (42, obs(&[(3, 7), (8, 0), (10, 1)]))],
+    ]
+}
+
+fn base_wal() -> Vec<u8> {
+    let mut bytes = encode_wal_header();
+    for b in base_batches() {
+        bytes.extend_from_slice(&encode_frame(&b));
+    }
+    bytes
+}
+
+/// A short, stable label for an error variant, for diversity accounting.
+fn variant(e: &StoreError) -> &'static str {
+    match e {
+        StoreError::Io { .. } => "Io",
+        StoreError::BadMagic => "BadMagic",
+        StoreError::UnsupportedVersion { .. } => "UnsupportedVersion",
+        StoreError::Truncated { .. } => "Truncated",
+        StoreError::ChecksumMismatch { .. } => "ChecksumMismatch",
+        StoreError::SectionOverflow { .. } => "SectionOverflow",
+        StoreError::CountOverflow { .. } => "CountOverflow",
+        StoreError::Malformed { .. } => "Malformed",
+        StoreError::DuplicateSection { .. } => "DuplicateSection",
+        StoreError::MissingSection { .. } => "MissingSection",
+        StoreError::UnknownSection { .. } => "UnknownSection",
+        StoreError::NotFileBacked => "NotFileBacked",
+    }
+}
+
+/// Decodes one mutant inside a panic guard. On a successful decode, also
+/// proves torn-tail determinism: a second decode agrees exactly, and the
+/// valid prefix is a fixpoint (same batches, zero torn bytes) — the property
+/// `repair_wal` relies on. Returns `false` on panic.
+fn survives(bytes: &[u8], seen: &mut BTreeSet<&'static str>) -> bool {
+    let result = catch_unwind(AssertUnwindSafe(|| match decode_wal(bytes) {
+        Ok(contents) => {
+            assert_eq!(decode_wal(bytes).unwrap(), contents, "decode is deterministic");
+            let prefix = &bytes[..contents.valid_len as usize];
+            let repaired = decode_wal(prefix).expect("the valid prefix decodes");
+            assert_eq!(repaired.batches, contents.batches, "truncation is a fixpoint");
+            assert_eq!(repaired.torn_bytes(), 0, "nothing torn remains after repair");
+            None
+        }
+        Err(err) => Some(err),
+    }));
+    match result {
+        Ok(Some(err)) => {
+            seen.insert(variant(&err));
+            true
+        }
+        Ok(None) => true,
+        Err(_) => false,
+    }
+}
+
+/// Splits the base WAL into its frame payloads.
+fn split_payloads(bytes: &[u8]) -> Vec<Vec<u8>> {
+    let mut r = ByteReader::new(bytes, "fixture");
+    assert_eq!(r.bytes(WAL_MAGIC.len()).unwrap(), WAL_MAGIC);
+    assert_eq!(r.u32().unwrap(), WAL_VERSION);
+    let mut payloads = Vec::new();
+    while !r.is_empty() {
+        let len = r.u64().unwrap() as usize;
+        let _checksum = r.u64().unwrap();
+        payloads.push(r.bytes(len).unwrap().to_vec());
+    }
+    payloads
+}
+
+/// Reassembles a WAL from payloads, computing fresh (valid) checksums.
+fn reframe(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.bytes(&WAL_MAGIC);
+    w.u32(WAL_VERSION);
+    for payload in payloads {
+        w.u64(payload.len() as u64);
+        w.u64(fnv1a64(payload));
+        w.bytes(payload);
+    }
+    w.into_bytes()
+}
+
+#[test]
+fn raw_byte_fuzz_never_panics_and_truncation_is_deterministic() {
+    let base = base_wal();
+    let mut mutator = Mutator::new(0x5EED_A109);
+    let mut seen: BTreeSet<&'static str> = BTreeSet::new();
+    let mut panics = 0usize;
+    for _ in 0..MUTANTS {
+        let mutant = mutator.mutate(&base);
+        if !survives(&mutant, &mut seen) {
+            panics += 1;
+        }
+    }
+    assert_eq!(panics, 0, "decode_wal panicked on {panics} of {MUTANTS} mutants");
+    // Raw mutation must trip the header and frame gates in several distinct
+    // typed ways; a collapse to one variant means the typed surface died.
+    assert!(seen.len() >= 3, "only {} error variants observed: {seen:?}", seen.len());
+}
+
+#[test]
+fn checksum_fixed_fuzz_reaches_the_payload_validator() {
+    let base = base_wal();
+    let payloads = split_payloads(&base);
+    let mut mutator = Mutator::new(0xC0DE_A109);
+    let mut seen: BTreeSet<&'static str> = BTreeSet::new();
+    let mut panics = 0usize;
+    for i in 0..MUTANTS {
+        // Corrupt one frame's payload, then re-frame with a valid checksum:
+        // the decoder can no longer classify the damage as a torn tail, so
+        // its payload validation must reject it with a typed error.
+        let victim = i % payloads.len();
+        let mut mutated = payloads.clone();
+        mutated[victim] = mutator.mutate(&payloads[victim]);
+        if !survives(&reframe(&mutated), &mut seen) {
+            panics += 1;
+        }
+    }
+    assert_eq!(panics, 0, "decode_wal panicked on {panics} of {MUTANTS} mutants");
+    assert!(
+        seen.contains("Malformed") || seen.contains("CountOverflow"),
+        "no mutant reached the payload validator: {seen:?}"
+    );
+    assert!(seen.len() >= 3, "only {} error variants observed: {seen:?}", seen.len());
+}
+
+// --- The pinned hostile-WAL corpus -------------------------------------
+
+/// Directory holding the checked-in fixtures (shared with the store corpus).
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/data/stores"))
+}
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = corpus_dir().join(name);
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read fixture {} ({e}); regenerate the corpus with \
+             `cargo test -p ust-persist --test wal_fuzz -- --ignored`",
+            path.display()
+        )
+    })
+}
+
+/// The torn-tail fixture: the base log cut seven bytes into its last frame.
+/// Must decode *successfully* to the first two batches.
+fn torn_tail_fixture() -> Vec<u8> {
+    let mut bytes = encode_wal_header();
+    bytes.extend_from_slice(&encode_frame(&base_batches()[0]));
+    bytes.extend_from_slice(&encode_frame(&base_batches()[1]));
+    let valid = bytes.len();
+    bytes.extend_from_slice(&encode_frame(&base_batches()[2])[..7]);
+    assert!(bytes.len() > valid);
+    bytes
+}
+
+/// The corruption fixture: a checksum-*valid* frame whose payload has
+/// non-increasing observation times. No torn write can produce it, so it
+/// must stay a typed error forever.
+fn bad_frame_fixture() -> Vec<u8> {
+    let mut bytes = encode_wal_header();
+    bytes.extend_from_slice(&encode_frame(&base_batches()[0]));
+    bytes.extend_from_slice(&encode_frame(&[(
+        9,
+        vec![Observation::new(5, 0), Observation::new(5, 1)],
+    )]));
+    bytes
+}
+
+#[test]
+fn torn_tail_fixture_truncates_to_its_pinned_prefix() {
+    let decoded = decode_wal(&fixture("wal_torn_tail.wal")).expect("a torn tail is not an error");
+    assert_eq!(decoded.batches, base_batches()[..2].to_vec());
+    assert_eq!(decoded.torn_bytes(), 7);
+    assert_eq!(decoded.observations, 5);
+}
+
+#[test]
+fn bad_frame_fixture_yields_its_pinned_error() {
+    let err = decode_wal(&fixture("wal_bad_frame.wal")).expect_err("corruption must not decode");
+    assert_eq!(
+        err,
+        StoreError::Malformed { context: "wal append times not strictly increasing" }
+    );
+}
+
+#[test]
+fn checked_in_wal_fixtures_match_their_generators() {
+    assert_eq!(
+        fixture("wal_torn_tail.wal"),
+        torn_tail_fixture(),
+        "wal_torn_tail.wal drifted; regenerate with -- --ignored"
+    );
+    assert_eq!(
+        fixture("wal_bad_frame.wal"),
+        bad_frame_fixture(),
+        "wal_bad_frame.wal drifted; regenerate with -- --ignored"
+    );
+}
+
+/// Writes the WAL corpus. Run once (and re-check in the files) after a
+/// deliberate format change; ignored in normal runs so the checked-in corpus
+/// stays the authority.
+#[test]
+#[ignore = "writes the fixture corpus; run explicitly after a format change"]
+fn regenerate_wal_fixtures() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    std::fs::write(dir.join("wal_torn_tail.wal"), torn_tail_fixture()).unwrap();
+    std::fs::write(dir.join("wal_bad_frame.wal"), bad_frame_fixture()).unwrap();
+}

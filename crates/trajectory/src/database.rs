@@ -6,7 +6,7 @@
 //! that a-priori, all objects utilize the same Markov model M", Section 7);
 //! per-object overrides are supported for the general case of Section 3.1.
 
-use crate::object::{ObjectId, UncertainObject};
+use crate::object::{ObjectId, Observation, ObservationError, UncertainObject};
 use crate::Timestamp;
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
@@ -88,6 +88,29 @@ impl TrajectoryDatabase {
             None => {
                 self.index_by_id.insert(object.id(), self.objects.len());
                 self.objects.push(object);
+            }
+        }
+    }
+
+    /// Appends observations to an existing object, or inserts a brand-new
+    /// object when the id is unknown. Returns `true` when a new object was
+    /// created. Appended times must be strictly increasing and, for an
+    /// existing object, strictly after its last observation; on error nothing
+    /// is applied. This is the database-level entry point of the incremental
+    /// (WAL-backed) ingest path.
+    pub fn append_observations(
+        &mut self,
+        id: ObjectId,
+        observations: &[Observation],
+    ) -> Result<bool, ObservationError> {
+        match self.index_by_id.get(&id).copied() {
+            Some(idx) => {
+                self.objects[idx].append_observations(observations)?;
+                Ok(false)
+            }
+            None => {
+                self.insert(UncertainObject::new(id, observations.to_vec())?);
+                Ok(true)
             }
         }
     }
@@ -244,6 +267,31 @@ mod tests {
         assert_eq!(d.len(), 3);
         assert_eq!(d.object(2).unwrap().first_time(), 1);
         assert_eq!(d.total_observations(), 2 + 1 + 2);
+    }
+
+    #[test]
+    fn append_extends_existing_and_creates_new_objects() {
+        let mut d = db();
+        // Extending object 1 (last time 10) with later observations.
+        assert_eq!(
+            d.append_observations(1, &[Observation::new(12, 2), Observation::new(14, 0)]),
+            Ok(false)
+        );
+        assert_eq!(d.object(1).unwrap().last_time(), 14);
+        assert_eq!(d.total_observations(), 8);
+        // A time at or before the tail is rejected without side effects.
+        assert_eq!(
+            d.append_observations(1, &[Observation::new(14, 1)]),
+            Err(ObservationError::NotStrictlyIncreasing { index: 4 })
+        );
+        assert_eq!(d.object(1).unwrap().num_observations(), 4);
+        // An unknown id creates a new object.
+        assert_eq!(d.append_observations(9, &[Observation::new(3, 1)]), Ok(true));
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.object(9).unwrap().first_time(), 3);
+        // An empty append is rejected even for a new id.
+        assert_eq!(d.append_observations(11, &[]), Err(ObservationError::Empty));
+        assert_eq!(d.len(), 4);
     }
 
     #[test]

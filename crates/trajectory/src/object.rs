@@ -131,6 +131,31 @@ impl UncertainObject {
             .map(|i| self.observations[i].state)
     }
 
+    /// Appends observations to the end of the sequence. The appended times
+    /// must be strictly increasing and strictly after [`Self::last_time`];
+    /// on error nothing is applied and the object is unchanged. This is the
+    /// in-memory half of an incremental (WAL-backed) ingest — observations
+    /// only ever arrive at the chronological tail.
+    pub fn append_observations(
+        &mut self,
+        appended: &[Observation],
+    ) -> Result<(), ObservationError> {
+        if appended.is_empty() {
+            return Err(ObservationError::Empty);
+        }
+        let mut last = self.last_time();
+        for (i, o) in appended.iter().enumerate() {
+            if o.time <= last {
+                return Err(ObservationError::NotStrictlyIncreasing {
+                    index: self.observations.len() + i,
+                });
+            }
+            last = o.time;
+        }
+        self.observations.extend_from_slice(appended);
+        Ok(())
+    }
+
     /// The observations as `(time, state)` pairs (the input format of the
     /// model adaptation in `ust-markov`).
     pub fn observation_pairs(&self) -> Vec<(Timestamp, StateId)> {
@@ -188,6 +213,25 @@ mod tests {
         let o = obj();
         assert_eq!(o.observed_state_at(5), Some(20));
         assert_eq!(o.observed_state_at(6), None);
+    }
+
+    #[test]
+    fn append_validates_then_extends() {
+        let mut o = obj();
+        // Times must land strictly after the current tail.
+        let err = o.append_observations(&[Observation::new(10, 40)]).unwrap_err();
+        assert_eq!(err, ObservationError::NotStrictlyIncreasing { index: 3 });
+        let err = o
+            .append_observations(&[Observation::new(12, 40), Observation::new(12, 41)])
+            .unwrap_err();
+        assert_eq!(err, ObservationError::NotStrictlyIncreasing { index: 4 });
+        assert_eq!(o.num_observations(), 3, "a rejected append leaves the object unchanged");
+        assert_eq!(o.append_observations(&[]).unwrap_err(), ObservationError::Empty);
+
+        o.append_observations(&[Observation::new(12, 40), Observation::new(15, 41)]).unwrap();
+        assert_eq!(o.num_observations(), 5);
+        assert_eq!(o.last_time(), 15);
+        assert_eq!(o.observed_state_at(12), Some(40));
     }
 
     #[test]

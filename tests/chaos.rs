@@ -17,12 +17,12 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard};
-use ust_core::{EngineConfig, Query, QueryEngine};
+use ust_core::{EngineConfig, EngineStore, Query, QueryEngine};
 use ust_fault::{fired, hits, FaultPlan};
 use ust_markov::{CsrMatrix, MarkovModel, StateId};
 use ust_persist::{read_store, write_store, StoreContents, StoreError};
 use ust_spatial::{Point, StateSpace};
-use ust_trajectory::{TrajectoryDatabase, UncertainObject};
+use ust_trajectory::{Observation, TrajectoryDatabase, UncertainObject};
 
 /// Serialises the chaos tests: exactly one fault plan is armed at a time.
 fn chaos_lock() -> MutexGuard<'static, ()> {
@@ -116,7 +116,8 @@ fn drive(point: &str) -> Outcome {
                 Err(_) => Outcome::Panicked,
             }
         }
-        "persist.write.file" | "persist.write.interrupted" => {
+        "persist.write.file" | "persist.write.interrupted" | "persist.write.sync"
+        | "persist.write.rename" => {
             let db = ring_db(32, 4);
             let path = temp_path(&format!("{point}.ustore"));
             let contents = StoreContents { database: &db, index: None, models: &[] };
@@ -146,6 +147,42 @@ fn drive(point: &str) -> Outcome {
                 Err(other) => panic!("{point}: expected StoreError::Io, got {other:?}"),
             };
             let _ = std::fs::remove_file(&path);
+            outcome
+        }
+        "persist.wal.append.write" | "persist.wal.append.sync" | "persist.wal.replay.read"
+        | "persist.checkpoint.truncate" => {
+            let db = ring_db(32, 4);
+            let path = temp_path(&format!("{point}.ustore"));
+            let wal = ust_persist::wal::wal_path(&path);
+            let _ = std::fs::remove_file(&wal);
+            let contents = StoreContents { database: &db, index: None, models: &[] };
+            // The armed plan names a WAL point, so this write runs clean.
+            write_store(&path, &contents).expect("writing the fixture store succeeds");
+            let batch = vec![(1u32, vec![Observation::new(GAP + 1, 0), Observation::new(GAP + 3, 1)])];
+            // The ingest cycle the point lives in: load (replays the WAL),
+            // append a batch, checkpoint it back into the container. The
+            // armed fault surfaces from whichever step owns it.
+            let cycle = || -> Result<(), StoreError> {
+                let mut store = EngineStore::load(&path)?;
+                store.append_batch(&batch)?;
+                store.checkpoint()?;
+                Ok(())
+            };
+            let outcome = match cycle() {
+                Ok(()) => {
+                    let reloaded = EngineStore::load(&path).expect("a clean cycle reloads");
+                    assert_eq!(
+                        reloaded.database().object(1).map(|o| o.last_time()),
+                        Some(GAP + 3),
+                        "a clean cycle persisted the appended batch"
+                    );
+                    Outcome::Absorbed
+                }
+                Err(StoreError::Io { .. }) => Outcome::TypedError,
+                Err(other) => panic!("{point}: expected StoreError::Io, got {other:?}"),
+            };
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(&wal);
             outcome
         }
         "tdrive.open" | "tdrive.read.line" | "tdrive.read.interrupted" => {
@@ -300,6 +337,36 @@ fn index_build_panic_recovers_on_rebuild() {
     let engine = QueryEngine::new(&db, EngineConfig::with_samples(20));
     let outcome = engine.pforall_nn(&ring_query(), 0.0).expect("the rebuilt engine answers");
     assert!(!outcome.results.is_empty() || outcome.stats.candidates == 0);
+}
+
+#[test]
+fn failed_writes_leave_the_previous_store_intact() {
+    let _guard = chaos_lock();
+    let db = ring_db(32, 4);
+    let path = temp_path("atomic.ustore");
+    let contents = StoreContents { database: &db, index: None, models: &[] };
+
+    // Establish a good store via the engine-level save path, then fault
+    // every stage of a rewrite: the staged temp-file protocol must never
+    // replace (or truncate) the good bytes with a partial write.
+    let engine = QueryEngine::new(&db, EngineConfig::with_samples(8));
+    engine.save_store(&path).expect("the initial save succeeds");
+    let good = std::fs::read(&path).expect("the initial store is readable");
+    for point in ["persist.write.file", "persist.write.sync", "persist.write.rename"] {
+        let armed = FaultPlan::once(point).arm();
+        let err = write_store(&path, &contents).expect_err("the armed write fails");
+        assert!(matches!(err, StoreError::Io { .. }), "{point}: expected Io, got {err:?}");
+        assert_eq!(fired(point), 1, "{point}: the armed stage fired");
+        drop(armed);
+        assert_eq!(
+            std::fs::read(&path).expect("the store file still exists"),
+            good,
+            "{point}: a failed rewrite must not disturb the previous store"
+        );
+        let reloaded = EngineStore::load(&path).expect("the previous store still loads");
+        assert_eq!(reloaded.database().len(), db.len());
+    }
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
